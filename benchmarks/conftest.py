@@ -1,0 +1,23 @@
+"""Shared pytest-benchmark configuration for the experiment benches.
+
+Every bench regenerates one of the paper's tables/figures at a reduced
+(bench) scale and prints the rows/series, so `pytest benchmarks/
+--benchmark-only -s` doubles as the reproduction report. Experiment benches
+run exactly once per session (`pedantic(rounds=1)`) — they are minutes-long
+simulations, not microbenchmarks; the microbenchmarks in
+``test_kernels.py`` use normal benchmark timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a full experiment once under the benchmark harness."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

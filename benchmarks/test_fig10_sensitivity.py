@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 10 — hyperparameter sensitivity (CNN).
+
+Shape claims checked: every FedCA configuration still learns (no setup
+collapses), and β = 0.001 behaves like the default while β = 0.1 — which
+over-penalises pre-deadline compute — is the slowest of the β settings in
+per-round statistical efficiency (it stops training earliest).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig10, run_fig10
+
+
+def test_fig10_sensitivity(once):
+    data = once(run_fig10, model="cnn", rounds=15, seed=5)
+    print()
+    print(format_fig10(data))
+
+    for beta, res in data["beta"].items():
+        assert res.history.best_accuracy() > 0.3, f"beta={beta} collapsed"
+    for combo, res in data["thresholds"].items():
+        assert res.history.best_accuracy() > 0.3, f"{combo} collapsed"
+
+    # β=0.1 discourages pre-deadline compute => fewest iterations per round.
+    iters = {
+        beta: sum(r.mean_iterations for r in res.history.records)
+        for beta, res in data["beta"].items()
+    }
+    assert iters[0.1] <= iters[0.001] + 1e-9, f"iterations by beta: {iters}"
+
+    # Threshold settings should land in a stable band (paper: "in general,
+    # the FedCA performance is stable across different setups").
+    accs = [res.history.best_accuracy() for res in data["thresholds"].values()]
+    assert max(accs) - min(accs) < 0.25, f"threshold accuracy spread: {accs}"

@@ -1,0 +1,43 @@
+"""Benches: regenerate the paper's two illustrative figures as measurements.
+
+* Fig. 1 — the statistical-progress anatomy: the toy walk's P_3 must already
+  be close to 1 (the paper's "3 of 7 iterations capture most of the round"),
+  and a real probed round must show the same front-loading.
+* Fig. 6 — the eager-transmission timeline: eager uploads must genuinely
+  overlap compute, making the last byte leave no later than a single
+  end-of-round upload would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_fig1, format_fig6, run_fig1, run_fig6
+
+
+def test_fig1_progress_anatomy(once):
+    data = once(run_fig1, model="cnn", warmup_rounds=3, seed=0)
+    print()
+    print(format_fig1(data))
+
+    toy = data["toy_curve"]
+    assert toy[2] > 0.7, f"toy P_3 = {toy[2]:.3f}, expected front-loading"
+    real = data["real_curve"]
+    k = len(real)
+    assert real[k // 2 - 1] > 0.5, "real round not front-loaded"
+    np.testing.assert_allclose(real[-1], 1.0, rtol=1e-6)
+
+
+def test_fig6_eager_overlap(once):
+    data = once(run_fig6, model="wrn", seed=3)
+    print()
+    print(format_fig6(data))
+
+    # Eager transfers exist and started before compute ended (true overlap).
+    eager = [tx for tx in data["schedule"] if tx["label"].startswith("eager:")]
+    assert eager, "no eager transfers recorded"
+    assert any(tx["start"] < data["compute_end"] for tx in eager)
+    # The overlapped schedule beats (or ties) the counterfactual tail-only
+    # upload on the critical path.
+    assert data["overlap_finish"] <= data["single_upload_finish"] + 1e-9
+    assert data["saving"] >= 0.0

@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig. 2 — whole-model statistical-progress curves.
+
+Shape claims checked: curves end at 1.0, rise with diminishing marginal
+benefit (first half of the round contributes more than the second), and the
+two clients' curves differ (cross-client heterogeneity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_fig2, run_fig2
+
+
+def test_fig2_progress_curves(once):
+    data = once(
+        run_fig2,
+        models=("cnn", "lstm"),
+        early_round=2,
+        late_round=8,
+        clients=(0, 1),
+        seed=0,
+    )
+    print()
+    print(format_fig2(data))
+
+    for model, stages in data.items():
+        for stage, curves in stages.items():
+            for cid, curve in curves.items():
+                label = f"{model}/{stage}/client-{cid}"
+                np.testing.assert_allclose(curve[-1], 1.0, rtol=1e-6)
+                k = len(curve)
+                first_half = curve[k // 2 - 1]
+                # Diminishing marginal benefit: the first half of the round
+                # must capture more than half of the final progress.
+                assert first_half > 0.5, f"{label}: P(K/2)={first_half:.3f}"
+            a, b = (curves[c] for c in sorted(curves))
+            assert not np.allclose(a, b), f"{model}/{stage}: client curves identical"

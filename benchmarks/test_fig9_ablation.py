@@ -1,0 +1,33 @@
+"""Bench: regenerate Fig. 9 — ablation of FedCA's modules (CNN workload;
+the paper also plots LSTM, which `examples/reproduce_paper.py` covers).
+
+Shape claims checked:
+* FedCA-v1 (early stop only) already reduces per-round time vs FedAvg;
+* v2/v3 (eager transmission) reduce it at least as much as v1;
+* v3 (with retransmission) achieves accuracy within tolerance of v1,
+  while v2's accuracy may degrade (the paper's justification for the
+  error-feedback mechanism).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig9, run_fig9
+
+
+def test_fig9_ablation(once):
+    data = once(run_fig9, models=("cnn",), rounds=15, seed=5)
+    print()
+    print(format_fig9(data))
+
+    results = {r.scheme: r for r in data["cnn"]}
+    v1, v2, v3 = (results[k] for k in ("FedCA-v1", "FedCA-v2", "FedCA-v3"))
+    fedavg = results["FedAvg"]
+
+    assert v1.mean_round_time < fedavg.mean_round_time, (
+        f"v1 {v1.mean_round_time:.2f} vs FedAvg {fedavg.mean_round_time:.2f}"
+    )
+    assert v3.mean_round_time <= v1.mean_round_time * 1.05
+    # Retransmission must keep v3's accuracy close to the eager-free v1.
+    assert v3.history.best_accuracy() >= v1.history.best_accuracy() - 0.12
+    # And v3 must not be worse than v2 statistically.
+    assert v3.history.best_accuracy() >= v2.history.best_accuracy() - 0.05

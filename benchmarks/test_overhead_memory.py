@@ -1,0 +1,39 @@
+"""Bench: regenerate §5.5 — profiling memory overhead.
+
+Checks the paper's accounting both for the micro-scale architectures and
+for paper-sized ones (LeNet-5/32×32, 64-unit LSTM, WRN-28-10): the sampled
+count stays within the same order as the paper's 618 / 905 / 9974, and the
+sampled memory is orders of magnitude below full profiling.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_overhead, run_overhead
+
+
+def test_overhead_micro(once):
+    data = once(run_overhead, iterations=125)
+    print()
+    print(format_overhead(data))
+    for name, entry in data.items():
+        assert entry["sampled_params"] <= entry["total_params"]
+        assert entry["sampled_bytes_per_round"] < entry["full_bytes_per_round"]
+
+
+def test_overhead_paper_architectures(benchmark):
+    data = benchmark.pedantic(
+        run_overhead, kwargs={"iterations": 125, "paper_arch": True},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_overhead(data))
+
+    # WRN-28-10 must show the paper's headline contrast: megabytes of
+    # sampled snapshots versus gigabytes of full snapshots.
+    wrn = data["wrn"]
+    assert wrn["total_params"] > 10_000_000  # 36M-class model
+    assert wrn["sampled_bytes_per_round"] < 16e6  # a few MB (paper: 3.8 MB)
+    assert wrn["full_bytes_per_round"] > 1e9  # paper: ~14 GB at K=100
+    # Per-layer cap: no layer contributes more than 100 scalars, so the
+    # sampled total stays in the paper's order of magnitude.
+    assert wrn["sampled_params"] < 50_000

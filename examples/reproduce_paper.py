@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the full experiment harness (micro scale by default) and prints each
+artefact in order: Figs. 2–5 (motivation/profiling), Table 1 + Fig. 7
+(end-to-end), Fig. 8 (behaviour CDFs), Fig. 9 (ablation), Fig. 10
+(sensitivity) and the §5.5 overhead accounting.
+
+Run:  python examples/reproduce_paper.py [--scale micro|small] [--quick]
+
+``--quick`` restricts the model set and round counts so the whole script
+finishes in about a minute; the default micro run takes several minutes on
+one CPU core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import repro.experiments as ex
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="micro", choices=["micro", "small"])
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+
+    models = ("cnn",) if args.quick else ("cnn", "lstm", "wrn")
+    two_models = ("cnn",) if args.quick else ("cnn", "lstm")
+    rounds = 10 if args.quick else None
+    t0 = time.time()
+
+    def banner(label: str) -> None:
+        print(f"\n{'=' * 72}\n{label}  [t+{time.time() - t0:.0f}s]\n{'=' * 72}")
+
+    banner("Fig. 2 — whole-model progress curves")
+    print(ex.format_fig2(ex.run_fig2(models=models, scale=args.scale)))
+
+    banner("Fig. 3 — per-layer progress curves")
+    print(ex.format_fig3(ex.run_fig3(models=models, scale=args.scale)))
+
+    banner("Fig. 4 — cross-round curve similarity")
+    print(ex.format_fig4(ex.run_fig4(model="cnn", scale=args.scale)))
+
+    banner("Fig. 5 — sampled vs full profiling")
+    print(ex.format_fig5(ex.run_fig5(models=models, scale=args.scale)))
+
+    banner("Table 1 + Fig. 7 — end-to-end comparison")
+    t1 = ex.run_table1(models=models, scale=args.scale, rounds=rounds)
+    print(ex.format_table1(t1))
+    print()
+    print(ex.format_fig7(t1))
+
+    banner("Fig. 8 — FedCA behaviour CDFs")
+    print(ex.format_fig8(ex.run_fig8(model="cnn", scale=args.scale, rounds=rounds)))
+
+    banner("Fig. 9 — ablation study")
+    print(ex.format_fig9(ex.run_fig9(models=two_models, scale=args.scale, rounds=rounds)))
+
+    banner("Fig. 10 — sensitivity analysis")
+    print(ex.format_fig10(ex.run_fig10(model="cnn", scale=args.scale, rounds=rounds)))
+
+    banner("§5.5 — profiling overhead (micro + paper-scale architectures)")
+    print(ex.format_overhead(ex.run_overhead()))
+    print()
+    print(ex.format_overhead(ex.run_overhead(paper_arch=True)))
+
+    print(f"\nDone in {time.time() - t0:.0f}s.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The sandbox this reproduction targets has no ``wheel`` package and no
+network, so PEP-517 editable installs fail; a classic ``setup.py`` keeps
+``pip install -e . --no-build-isolation`` working via the legacy path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""FedCA reproduction — Efficient Federated Learning with Client Autonomy.
+
+Full from-scratch reproduction of Lyu et al., ICPP 2024: a manual-backprop
+NN substrate (:mod:`repro.nn`), synthetic non-IID workloads
+(:mod:`repro.data`), a simulated-time device/network substrate
+(:mod:`repro.sysmodel`), the FedCA mechanism (:mod:`repro.core`), all
+evaluated schemes (:mod:`repro.algorithms`) under an in-process FL simulator
+(:mod:`repro.runtime`), with the experiment harness in
+:mod:`repro.experiments`.
+"""
+
+from . import algorithms, core, data, nn, runtime, sysmodel
+from .algorithms import OptimizerSpec, build_strategy
+from .core import FedCAConfig
+from .runtime import FederatedSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "data",
+    "sysmodel",
+    "core",
+    "algorithms",
+    "runtime",
+    "FederatedSimulator",
+    "FedCAConfig",
+    "OptimizerSpec",
+    "build_strategy",
+    "__version__",
+]

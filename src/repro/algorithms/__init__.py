@@ -1,0 +1,29 @@
+"""``repro.algorithms`` — FedAvg, FedProx, FedAda and FedCA strategies."""
+
+from .base import OptimizerSpec, Strategy, run_local_iterations
+from .compressed import CompressedFedAvg, fedavg_quantized, fedavg_topk
+from .deadline_stop import DeadlineStop
+from .extensions import FedCAAdaptiveBatch
+from .fedada import FedAda, fedada_budget
+from .fedavg import FedAvg
+from .fedca import FedCA
+from .fedprox import FedProx
+from .registry import STRATEGY_NAMES, build_strategy
+
+__all__ = [
+    "Strategy",
+    "OptimizerSpec",
+    "run_local_iterations",
+    "FedAvg",
+    "FedProx",
+    "FedAda",
+    "fedada_budget",
+    "FedCA",
+    "CompressedFedAvg",
+    "FedCAAdaptiveBatch",
+    "DeadlineStop",
+    "fedavg_quantized",
+    "fedavg_topk",
+    "build_strategy",
+    "STRATEGY_NAMES",
+]

@@ -1,0 +1,97 @@
+"""Strategy interface shared by FedAvg / FedProx / FedAda / FedCA.
+
+A strategy owns two responsibilities:
+
+* ``prepare_round`` — server-side, before broadcast: may assign per-client
+  iteration budgets (FedAda's workload adjustment). Autonomous schemes
+  return ``None``.
+* ``client_round`` — the client-side execution of one round, returning a
+  :class:`~repro.runtime.round.ClientRoundResult` with both the statistical
+  payload (the update) and the simulated-time system outcome.
+
+The helper :func:`run_local_iterations` implements the common timed SGD
+loop; FedCA replaces it with its hook-instrumented variant.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..nn import SGD
+from ..runtime.client import SimClient
+from ..runtime.round import ClientRoundResult, RoundContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.simulator import FederatedSimulator
+
+__all__ = ["Strategy", "OptimizerSpec", "run_local_iterations"]
+
+
+class OptimizerSpec:
+    """Workload-level optimiser settings (paper §5.1: SGD + weight decay)."""
+
+    def __init__(self, lr: float, weight_decay: float = 0.0, momentum: float = 0.0) -> None:
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.momentum = momentum
+
+    def build(self, model) -> SGD:
+        return SGD(
+            model, self.lr, weight_decay=self.weight_decay, momentum=self.momentum
+        )
+
+
+def run_local_iterations(
+    client: SimClient,
+    optimizer,
+    iterations: int,
+    compute_start: float,
+) -> tuple[float, float]:
+    """Run ``iterations`` timed SGD steps; returns ``(finish_time, mean_loss)``."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    t = compute_start
+    total_loss = 0.0
+    for _ in range(iterations):
+        total_loss += client.train_step(optimizer)
+        t = client.trace.iteration_finish_time(t, 1)
+    return t, total_loss / iterations
+
+
+class Strategy(ABC):
+    """One federated-optimisation scheme."""
+
+    #: Human-readable scheme name used in reports and benches.
+    name: str = "base"
+
+    def prepare_round(
+        self,
+        sim: "FederatedSimulator",
+        selected: list[int],
+        deadline: float,
+        round_index: int,
+    ) -> dict[int, int] | None:
+        """Optional server-side per-client iteration budgets."""
+        return None
+
+    @abstractmethod
+    def client_round(
+        self,
+        client: SimClient,
+        global_state: dict[str, np.ndarray],
+        ctx: RoundContext,
+    ) -> ClientRoundResult:
+        """Execute one client's round."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _finish_upload(
+        client: SimClient, compute_start: float, compute_finish: float
+    ) -> tuple[float, int]:
+        """Default end-of-round full-model upload on the client uplink."""
+        client.uplink.reset(compute_start)
+        tx = client.uplink.submit(compute_finish, client.model_bytes, label="full")
+        return tx.finish_time, client.model_bytes

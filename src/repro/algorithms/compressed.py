@@ -1,0 +1,70 @@
+"""FedAvg with compressed uploads — the §2.2 communication baselines.
+
+``CompressedFedAvg`` runs the standard FedAvg round but passes each
+client's update through an :class:`~repro.compression.UpdateCodec` before
+the (cheaper) upload; the server aggregates the lossy reconstruction.
+Codecs are stateful per client (top-k keeps residual memory), so the
+strategy instantiates one per client id via the provided factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..compression import QuantizationCodec, TopKCodec, UpdateCodec
+from ..runtime.client import SimClient
+from .base import OptimizerSpec
+from .fedavg import FedAvg
+
+__all__ = ["CompressedFedAvg", "fedavg_quantized", "fedavg_topk"]
+
+
+class CompressedFedAvg(FedAvg):
+    """FedAvg whose uploads pass through a per-client update codec."""
+
+    name = "FedAvg+codec"
+
+    def __init__(
+        self,
+        optimizer: OptimizerSpec,
+        codec_factory: Callable[[int], UpdateCodec],
+        *,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(optimizer)
+        self._codec_factory = codec_factory
+        self._codecs: dict[int, UpdateCodec] = {}
+        if name:
+            self.name = name
+
+    def _codec_for(self, client_id: int) -> UpdateCodec:
+        codec = self._codecs.get(client_id)
+        if codec is None:
+            codec = self._codec_factory(client_id)
+            self._codecs[client_id] = codec
+        return codec
+
+    def _encode_update(
+        self, client: SimClient, update: dict[str, np.ndarray]
+    ) -> tuple[dict[str, np.ndarray], int]:
+        return self._codec_for(client.client_id).encode(update)
+
+
+def fedavg_quantized(optimizer: OptimizerSpec, *, bits: int = 8) -> CompressedFedAvg:
+    """FedAvg + QSGD quantization (paper ref. [4])."""
+    return CompressedFedAvg(
+        optimizer,
+        lambda cid: QuantizationCodec(bits, seed=1000 + cid),
+        name=f"FedAvg+Q{bits}",
+    )
+
+
+def fedavg_topk(optimizer: OptimizerSpec, *, fraction: float = 0.1) -> CompressedFedAvg:
+    """FedAvg + top-k sparsification with error feedback (refs. [5, 8])."""
+    return CompressedFedAvg(
+        optimizer,
+        lambda cid: TopKCodec(fraction),
+        name=f"FedAvg+Top{int(fraction * 100)}%",
+    )

@@ -1,0 +1,70 @@
+"""Naive deadline-stop baseline — an ablation comparator for FedCA.
+
+Clients stop local training the moment their elapsed compute time crosses
+the server's deadline ``T_R``, with no statistical-utility reasoning at all
+(FedBalancer-style pace control reduced to its bluntest form). Comparing it
+against FedCA isolates what the Eq. 2–4 utility function actually buys:
+FedCA stops *before* the deadline when remaining iterations carry little
+statistical value, and keeps computing *past* it when the profiled benefit
+still justifies the cost — the naive rule can do neither.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.client import SimClient
+from ..runtime.round import ClientRoundResult, RoundContext
+from .base import OptimizerSpec, Strategy
+
+__all__ = ["DeadlineStop"]
+
+
+class DeadlineStop(Strategy):
+    """Stop-at-deadline ablation baseline (see module docstring)."""
+
+    name = "DeadlineStop"
+
+    def __init__(self, optimizer: OptimizerSpec) -> None:
+        self.optimizer = optimizer
+
+    def client_round(
+        self,
+        client: SimClient,
+        global_state: dict[str, np.ndarray],
+        ctx: RoundContext,
+    ) -> ClientRoundResult:
+        """Train until K iterations or the deadline, whichever first."""
+        compute_start = ctx.round_start + client.link.download_seconds(
+            client.model_bytes
+        )
+        client.load_global(global_state)
+        opt = self.optimizer.build(client.model)
+        t = compute_start
+        total_loss = 0.0
+        iterations_run = 0
+        stopped_early = False
+        for tau in range(1, ctx.iterations + 1):
+            total_loss += client.train_step(opt)
+            t = client.trace.iteration_finish_time(t, 1)
+            iterations_run = tau
+            if tau < ctx.iterations and (t - compute_start) >= ctx.deadline:
+                stopped_early = True
+                break
+        upload_finish, nbytes = self._finish_upload(client, compute_start, t)
+        return ClientRoundResult(
+            client_id=client.client_id,
+            update=client.local_update(global_state),
+            num_samples=client.num_samples,
+            iterations_run=iterations_run,
+            compute_start_time=compute_start,
+            compute_finish_time=t,
+            upload_finish_time=upload_finish,
+            bytes_uploaded=nbytes,
+            mean_loss=total_loss / max(1, iterations_run),
+            events={
+                "iterations_run": iterations_run,
+                "early_stop_iteration": iterations_run if stopped_early else None,
+            },
+            buffers=client.model.buffer_dict(),
+        )

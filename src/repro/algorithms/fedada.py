@@ -1,0 +1,87 @@
+"""FedAda (Zhang et al.) — server-determined workload adjustment.
+
+FedAda mitigates stragglers by having the *server* scale down the
+intra-round iteration budget of slow clients, assuming a *uniform*
+statistical contribution per iteration (the assumption FedCA's §3.2 shows to
+be false). The FedCA paper does not restate FedAda's exact formula, so we
+reconstruct it from its description as utility maximisation with a
+trade-off factor ω (recommended 0.5) between statistical benefit and
+computation cost, under the uniformity assumption:
+
+``u(K_i) = ω · K_i / K − (1 − ω) · max(0, K_i · pace_i − T_R) / T_R``
+
+Benefit is linear in the iteration count (uniform contribution); cost is
+the estimated deadline overshoot. ``u`` is piecewise linear, so the argmax
+is either the full budget ``K`` (when the client's estimated pace keeps the
+marginal cost below the marginal benefit) or the deadline fit
+``⌊T_R / pace_i⌋`` (when overshooting is too expensive).
+
+Three properties matter for the reproduction and all hold: (1) estimated
+stragglers are trimmed to finish near the deadline, giving the substantial
+per-round-time reduction the paper reports for FedAda; (2) trimming is
+uniform-benefit-blind, so FedAda sacrifices more statistical progress per
+skipped iteration than FedCA and stops *later* than FedCA (Fig. 8a);
+(3) the decision is server-autocratic — made from stale pace estimates
+before the round starts — so a mid-round slowdown still produces a
+straggler, the gap FedCA's intra-round autonomy closes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from .base import OptimizerSpec
+from .fedavg import FedAvg
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.simulator import FederatedSimulator
+
+__all__ = ["FedAda", "fedada_budget"]
+
+
+def fedada_budget(k: int, pace: float, deadline: float, tradeoff: float) -> int:
+    """Server-side iteration budget for one client (see module docstring)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if pace <= 0:
+        raise ValueError("pace must be positive")
+    if deadline <= 0:
+        raise ValueError("deadline must be positive")
+    if not 0 < tradeoff < 1:
+        raise ValueError("tradeoff must be in (0, 1)")
+    if k * pace <= deadline:
+        return k  # fits within the deadline: full workload
+    # Marginal benefit per iteration vs marginal overshoot cost per iteration.
+    marginal_benefit = tradeoff / k
+    marginal_cost = (1.0 - tradeoff) * pace / deadline
+    if marginal_benefit >= marginal_cost:
+        return k  # overshoot is cheap enough to justify full workload
+    return max(1, min(k, math.floor(deadline / pace)))
+
+
+class FedAda(FedAvg):
+    """Server-side workload adjustment (see module docstring)."""
+
+    name = "FedAda"
+
+    def __init__(self, optimizer: OptimizerSpec, *, tradeoff: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if not 0 < tradeoff < 1:
+            raise ValueError("tradeoff must be in (0, 1)")
+        self.tradeoff = tradeoff
+
+    def prepare_round(
+        self,
+        sim: "FederatedSimulator",
+        selected: list[int],
+        deadline: float,
+        round_index: int,
+    ) -> dict[int, int]:
+        """Assign per-client iteration budgets from the server's estimates."""
+        return {
+            cid: fedada_budget(
+                sim.local_iterations, sim.est_pace[cid], deadline, self.tradeoff
+            )
+            for cid in selected
+        }

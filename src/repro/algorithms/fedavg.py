@@ -1,0 +1,73 @@
+"""FedAvg (McMahan et al.) — the baseline scheme.
+
+Every selected client runs the full K local iterations and uploads the
+complete model update at round end; the server's 90 % partial aggregation
+(handled by the simulator) is the only straggler mitigation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.client import SimClient
+from ..runtime.round import ClientRoundResult, RoundContext
+from .base import OptimizerSpec, Strategy, run_local_iterations
+
+__all__ = ["FedAvg"]
+
+
+class FedAvg(Strategy):
+    """Vanilla FedAvg client round (see module docstring)."""
+
+    name = "FedAvg"
+
+    def __init__(self, optimizer: OptimizerSpec) -> None:
+        self.optimizer = optimizer
+
+    def client_round(
+        self,
+        client: SimClient,
+        global_state: dict[str, np.ndarray],
+        ctx: RoundContext,
+    ) -> ClientRoundResult:
+        """Download → K local iterations → single end-of-round upload."""
+        compute_start = ctx.round_start + client.link.download_seconds(
+            client.model_bytes
+        )
+        client.load_global(global_state)
+        opt = self._build_optimizer(client, global_state)
+        iterations = ctx.effective_iterations
+        compute_finish, mean_loss = run_local_iterations(
+            client, opt, iterations, compute_start
+        )
+        update, nbytes = self._encode_update(
+            client, client.local_update(global_state)
+        )
+        client.uplink.reset(compute_start)
+        upload_finish = client.uplink.submit(
+            compute_finish, nbytes, label="full"
+        ).finish_time
+        return ClientRoundResult(
+            client_id=client.client_id,
+            update=update,
+            num_samples=client.num_samples,
+            iterations_run=iterations,
+            compute_start_time=compute_start,
+            compute_finish_time=compute_finish,
+            upload_finish_time=upload_finish,
+            bytes_uploaded=nbytes,
+            mean_loss=mean_loss,
+            events={"iterations_run": iterations},
+            buffers=client.model.buffer_dict(),
+        )
+
+    # Hook for FedProx to swap in the proximal optimiser.
+    def _build_optimizer(self, client: SimClient, global_state):
+        return self.optimizer.build(client.model)
+
+    # Hook for compressed variants: returns the update *as the server will
+    # receive it* (possibly lossy) and its wire size in bytes.
+    def _encode_update(
+        self, client: SimClient, update: dict[str, np.ndarray]
+    ) -> tuple[dict[str, np.ndarray], int]:
+        return update, client.model_bytes

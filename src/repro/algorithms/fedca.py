@@ -1,0 +1,240 @@
+"""FedCA — Federated Learning with Client Autonomy (the paper's §4).
+
+Round types:
+
+* **Anchor rounds** (round 0 and every ``profile_every``-th round): the
+  client runs the full K iterations with *no* optimisations, recording the
+  sampled accumulated update after every iteration; at round end the
+  snapshots become the statistical-progress curves used until the next
+  anchor.
+* **Optimised rounds**: after every local iteration the client calls the
+  equivalents of the paper's ``TryEagerTransmit()`` (Eq. 5 — layers whose
+  profiled progress crossed ``T_e`` are pushed onto the uplink immediately,
+  overlapping with remaining compute) and ``TryEarlyStop()`` (Eq. 4 — stop
+  once the profiled marginal benefit falls below the deadline-kinked time
+  cost). At round end ``TryRetransmit()`` (Eq. 6) re-sends any eagerly
+  transmitted layer whose final update deviated from the transmitted value.
+
+The server receives, per layer, the eagerly transmitted value unless the
+layer was retransmitted — so disabling retransmission (FedCA-v2) really does
+aggregate stale layer updates, reproducing the ablation's accuracy loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import (
+    AnchorRecorder,
+    EagerSchedule,
+    EarlyStopPolicy,
+    FedCAConfig,
+    LayerSampler,
+    ProfiledCurves,
+    deviated_layers,
+    is_anchor_round,
+)
+from ..runtime.client import SimClient
+from ..runtime.round import ClientRoundResult, RoundContext
+from .base import OptimizerSpec, Strategy
+
+__all__ = ["FedCA"]
+
+
+class FedCA(Strategy):
+    """The paper's client-autonomy mechanism (see module docstring)."""
+
+    name = "FedCA"
+
+    def __init__(
+        self,
+        optimizer: OptimizerSpec,
+        *,
+        config: FedCAConfig | None = None,
+        sampler_seed: int = 0,
+    ) -> None:
+        self.optimizer = optimizer
+        self.config = config or FedCAConfig()
+        self.sampler_seed = sampler_seed
+        self._samplers: dict[int, LayerSampler] = {}
+        self._curves: dict[int, ProfiledCurves] = {}
+
+    # ------------------------------------------------------------------
+    def curves_for(self, client_id: int) -> ProfiledCurves | None:
+        """Most recently profiled curves for a client (None before its first
+        anchor round)."""
+        return self._curves.get(client_id)
+
+    def _sampler_for(self, client: SimClient) -> LayerSampler:
+        sampler = self._samplers.get(client.client_id)
+        if sampler is None:
+            sampler = LayerSampler.for_model(
+                client.model,
+                fraction=self.config.sample_fraction,
+                cap=self.config.sample_cap,
+                seed=self.sampler_seed + client.client_id,
+            )
+            self._samplers[client.client_id] = sampler
+        return sampler
+
+    # ------------------------------------------------------------------
+    def client_round(
+        self,
+        client: SimClient,
+        global_state: dict[str, np.ndarray],
+        ctx: RoundContext,
+    ) -> ClientRoundResult:
+        """Dispatch to an anchor (profiling) or optimised round."""
+        anchor = (
+            is_anchor_round(ctx.round_index, self.config.profile_every)
+            or client.client_id not in self._curves
+        )
+        compute_start = ctx.round_start + client.link.download_seconds(
+            client.model_bytes
+        )
+        client.load_global(global_state)
+        opt = self.optimizer.build(client.model)
+        if anchor:
+            return self._anchor_round(client, global_state, ctx, opt, compute_start)
+        return self._optimized_round(client, global_state, ctx, opt, compute_start)
+
+    # ------------------------------------------------------------------
+    def _anchor_round(
+        self,
+        client: SimClient,
+        global_state: dict[str, np.ndarray],
+        ctx: RoundContext,
+        opt,
+        compute_start: float,
+    ) -> ClientRoundResult:
+        sampler = self._sampler_for(client)
+        recorder = AnchorRecorder(sampler)
+        params = {name: p.data for name, p in client.model.named_parameters()}
+        t = compute_start
+        total_loss = 0.0
+        for _ in range(ctx.iterations):
+            total_loss += client.train_step(opt)
+            t = client.trace.iteration_finish_time(t, 1)
+            recorder.record(params, global_state)
+        profiling_bytes = recorder.memory_bytes()
+        self._curves[client.client_id] = recorder.finalize(ctx.round_index)
+        upload_finish, nbytes = self._finish_upload(client, compute_start, t)
+        return ClientRoundResult(
+            client_id=client.client_id,
+            update=client.local_update(global_state),
+            num_samples=client.num_samples,
+            iterations_run=ctx.iterations,
+            compute_start_time=compute_start,
+            compute_finish_time=t,
+            upload_finish_time=upload_finish,
+            bytes_uploaded=nbytes,
+            mean_loss=total_loss / ctx.iterations,
+            events={
+                "anchor": True,
+                "iterations_run": ctx.iterations,
+                "early_stop_iteration": None,
+                "eager": {},
+                "retransmitted": [],
+                "profiling_bytes": profiling_bytes,
+            },
+            buffers=client.model.buffer_dict(),
+        )
+
+    # ------------------------------------------------------------------
+    def _run_iteration(self, client: SimClient, opt, t: float) -> tuple[float, float]:
+        """One timed local iteration; hook for the intra-round
+        hyperparameter-adaptation extensions (§6 future work)."""
+        loss = client.train_step(opt)
+        return loss, client.trace.iteration_finish_time(t, 1)
+
+    # ------------------------------------------------------------------
+    def _optimized_round(
+        self,
+        client: SimClient,
+        global_state: dict[str, np.ndarray],
+        ctx: RoundContext,
+        opt,
+        compute_start: float,
+    ) -> ClientRoundResult:
+        cfg = self.config
+        curves = self._curves[client.client_id]
+        stopper = EarlyStopPolicy(curves, cfg)
+        schedule = (
+            EagerSchedule(curves, cfg.eager_threshold)
+            if cfg.enable_eager_transmit
+            else None
+        )
+        client.uplink.reset(compute_start)
+
+        params = {name: p.data for name, p in client.model.named_parameters()}
+        transmitted: dict[str, np.ndarray] = {}
+        eager_iter: dict[str, int] = {}
+        t = compute_start
+        total_loss = 0.0
+        stopped_early = False
+        iterations_run = 0
+        for tau in range(1, ctx.iterations + 1):
+            loss, t = self._run_iteration(client, opt, t)
+            total_loss += loss
+            iterations_run = tau
+            if schedule is not None:
+                for layer in schedule.due(tau):
+                    # TryEagerTransmit: snapshot the layer's update as of now
+                    # and queue it on the uplink, overlapping with compute.
+                    transmitted[layer] = (
+                        params[layer] - global_state[layer]
+                    ).copy()
+                    client.uplink.submit(
+                        t, client.layer_bytes[layer], label=f"eager:{layer}"
+                    )
+                    eager_iter[layer] = tau
+            if tau < ctx.iterations and stopper.should_stop(
+                tau, t - compute_start, ctx.deadline
+            ):
+                stopped_early = True
+                break
+        compute_finish = t
+
+        final_updates = client.local_update(global_state)
+        retrans: list[str] = []
+        if cfg.enable_retransmit and transmitted:
+            retrans = deviated_layers(
+                final_updates, transmitted, cfg.retransmit_threshold
+            )
+        tail_layers = [
+            name for name in client.layer_bytes if name not in transmitted
+        ] + retrans
+        tail_bytes = sum(client.layer_bytes[name] for name in tail_layers)
+        if tail_bytes > 0:
+            upload_finish = client.uplink.submit(
+                compute_finish, tail_bytes, label="tail"
+            ).finish_time
+        else:
+            upload_finish = max(compute_finish, client.uplink.busy_until)
+
+        # What the server receives: stale eager values unless retransmitted.
+        received = dict(final_updates)
+        retrans_set = set(retrans)
+        for name, value in transmitted.items():
+            if name not in retrans_set:
+                received[name] = value
+
+        return ClientRoundResult(
+            client_id=client.client_id,
+            update=received,
+            num_samples=client.num_samples,
+            iterations_run=iterations_run,
+            compute_start_time=compute_start,
+            compute_finish_time=compute_finish,
+            upload_finish_time=upload_finish,
+            bytes_uploaded=client.uplink.total_bytes,
+            mean_loss=total_loss / max(1, iterations_run),
+            events={
+                "anchor": False,
+                "iterations_run": iterations_run,
+                "early_stop_iteration": iterations_run if stopped_early else None,
+                "eager": eager_iter,
+                "retransmitted": retrans,
+            },
+            buffers=client.model.buffer_dict(),
+        )

@@ -1,0 +1,70 @@
+"""Name-based strategy construction for the experiment harness."""
+
+from __future__ import annotations
+
+from ..core import FedCAConfig
+from .base import OptimizerSpec, Strategy
+from .deadline_stop import DeadlineStop
+from .fedada import FedAda
+from .fedavg import FedAvg
+from .fedca import FedCA
+from .fedprox import FedProx
+
+__all__ = ["build_strategy", "STRATEGY_NAMES"]
+
+STRATEGY_NAMES = (
+    "fedavg", "fedprox", "fedada", "fedca",
+    "fedca-v1", "fedca-v2", "fedca-v3", "deadline-stop",
+)
+
+
+def build_strategy(
+    name: str,
+    optimizer: OptimizerSpec,
+    *,
+    mu: float = 0.01,
+    tradeoff: float = 0.5,
+    fedca_config: FedCAConfig | None = None,
+) -> Strategy:
+    """Build a strategy by name.
+
+    ``fedca-v1``/``v2``/``v3`` are the ablation variants of Fig. 9;
+    ``fedca`` is an alias for ``fedca-v3``. ``fedca_config`` overrides the
+    FedCA hyperparameters but its ``enable_*`` flags are still forced to the
+    variant's definition.
+    """
+    key = name.lower()
+    if key == "fedavg":
+        return FedAvg(optimizer)
+    if key == "fedprox":
+        return FedProx(optimizer, mu=mu)
+    if key == "fedada":
+        return FedAda(optimizer, tradeoff=tradeoff)
+    if key == "deadline-stop":
+        return DeadlineStop(optimizer)
+    if key in ("fedca", "fedca-v3", "fedca-v2", "fedca-v1"):
+        base = fedca_config or FedCAConfig()
+        fields = {
+            "profile_every": base.profile_every,
+            "beta": base.beta,
+            "eager_threshold": base.eager_threshold,
+            "retransmit_threshold": base.retransmit_threshold,
+            "sample_fraction": base.sample_fraction,
+            "sample_cap": base.sample_cap,
+            "min_local_iterations": base.min_local_iterations,
+        }
+        if key == "fedca-v1":
+            cfg = FedCAConfig.v1(**fields)
+        elif key == "fedca-v2":
+            cfg = FedCAConfig.v2(**fields)
+        else:
+            cfg = FedCAConfig.v3(**fields)
+        strategy = FedCA(optimizer, config=cfg)
+        strategy.name = {
+            "fedca": "FedCA",
+            "fedca-v3": "FedCA-v3",
+            "fedca-v2": "FedCA-v2",
+            "fedca-v1": "FedCA-v1",
+        }[key]
+        return strategy
+    raise ValueError(f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}")

@@ -1,0 +1,205 @@
+"""Command-line interface for the reproduction harness.
+
+Usage (installed or via ``python -m repro.cli``):
+
+    repro run --workload cnn --scheme fedca --rounds 20 --json out.json
+    repro compare --workload lstm --schemes fedavg fedada fedca
+    repro reproduce --artifact table1 --models cnn lstm
+    repro overhead --paper-arch
+
+``run`` trains one scheme and prints (or dumps) the round history;
+``compare`` runs several schemes under identical conditions and prints the
+Table-1-style rows; ``reproduce`` regenerates one named paper artefact;
+``overhead`` prints the §5.5 profiling-memory accounting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    format_fig1,
+    format_fig2,
+    format_fig3,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    format_fig10,
+    format_overhead,
+    format_table,
+    format_table1,
+    get_workload,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_overhead,
+    run_table1,
+)
+from .experiments.runner import compare_schemes, run_scheme
+
+ARTIFACTS = {
+    "fig1": (run_fig1, format_fig1),
+    "fig2": (run_fig2, format_fig2),
+    "fig3": (run_fig3, format_fig3),
+    "fig4": (run_fig4, format_fig4),
+    "fig5": (run_fig5, format_fig5),
+    "fig6": (run_fig6, format_fig6),
+    "table1": (run_table1, format_table1),
+    "fig7": (run_table1, format_fig7),
+    "fig8": (run_fig8, format_fig8),
+    "fig9": (run_fig9, format_fig9),
+    "fig10": (run_fig10, format_fig10),
+    "overhead": (run_overhead, format_overhead),
+}
+
+_MULTI_MODEL_ARTIFACTS = {"fig2", "fig3", "fig5", "table1", "fig7", "fig9"}
+_SINGLE_MODEL_ARTIFACTS = {"fig1", "fig4", "fig6", "fig8", "fig10"}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="micro", choices=["micro", "small", "paper"])
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the `repro` argument parser (see module docstring)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="train one workload under one scheme")
+    p_run.add_argument("--workload", required=True, choices=["cnn", "lstm", "wrn"])
+    p_run.add_argument("--scheme", required=True)
+    p_run.add_argument("--rounds", type=int, default=None)
+    p_run.add_argument("--no-target-stop", action="store_true")
+    p_run.add_argument("--json", metavar="PATH", default=None,
+                       help="write the full round history as JSON")
+    _add_common(p_run)
+
+    p_cmp = sub.add_parser("compare", help="run several schemes head-to-head")
+    p_cmp.add_argument("--workload", required=True, choices=["cnn", "lstm", "wrn"])
+    p_cmp.add_argument("--schemes", nargs="+",
+                       default=["fedavg", "fedprox", "fedada", "fedca"])
+    p_cmp.add_argument("--rounds", type=int, default=None)
+    _add_common(p_cmp)
+
+    p_rep = sub.add_parser("reproduce", help="regenerate one paper artefact")
+    p_rep.add_argument("--artifact", required=True, choices=sorted(ARTIFACTS))
+    p_rep.add_argument("--models", nargs="+", default=["cnn"],
+                       choices=["cnn", "lstm", "wrn"])
+    p_rep.add_argument("--rounds", type=int, default=None)
+    _add_common(p_rep)
+
+    p_ovh = sub.add_parser("overhead", help="§5.5 profiling-memory accounting")
+    p_ovh.add_argument("--paper-arch", action="store_true")
+    p_ovh.add_argument("--iterations", type=int, default=125)
+
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """`repro run` — train one workload under one scheme."""
+    cfg = get_workload(args.workload, args.scale)
+    result = run_scheme(
+        cfg,
+        args.scheme,
+        rounds=args.rounds,
+        stop_at_target=not args.no_target_stop,
+        seed=args.seed,
+    )
+    hist = result.history
+    tta = hist.time_to_accuracy(cfg.target_accuracy)
+    print(
+        f"{result.scheme} on {args.workload} ({args.scale}): "
+        f"{hist.num_rounds} rounds, mean round {hist.mean_round_time():.2f}s, "
+        f"final acc {hist.final_accuracy:.3f}"
+        + (f", target {cfg.target_accuracy} in {tta[0]:.1f}s" if tta else "")
+    )
+    if args.json:
+        from .runtime import history_to_json
+
+        with open(args.json, "w") as fh:
+            fh.write(history_to_json(hist, indent=2))
+        print(f"history written to {args.json}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """`repro compare` — several schemes under identical conditions."""
+    cfg = get_workload(args.workload, args.scale)
+    results = compare_schemes(
+        cfg, args.schemes, rounds=args.rounds, seed=args.seed
+    )
+    rows = []
+    for res in results:
+        tta = res.history.time_to_accuracy(cfg.target_accuracy)
+        rows.append(
+            [
+                res.scheme,
+                f"{res.mean_round_time:.2f}",
+                tta[1] if tta else "—",
+                f"{tta[0]:.1f}" if tta else "—",
+                f"{res.history.final_accuracy:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["Scheme", "Per-round (s)", "# Rounds", "Total time (s)", "Final acc"],
+            rows,
+            title=f"{args.workload} ({args.scale}), target {cfg.target_accuracy}",
+        )
+    )
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """`repro reproduce` — regenerate one named paper artefact."""
+    run_fn, fmt_fn = ARTIFACTS[args.artifact]
+    kwargs: dict = {}
+    if args.artifact in _MULTI_MODEL_ARTIFACTS:
+        kwargs["models"] = tuple(args.models)
+        kwargs["scale"] = args.scale
+        kwargs["seed"] = args.seed
+        if args.rounds and args.artifact in ("table1", "fig7", "fig9"):
+            kwargs["rounds"] = args.rounds
+    elif args.artifact in _SINGLE_MODEL_ARTIFACTS:
+        kwargs["model"] = args.models[0]
+        kwargs["scale"] = args.scale
+        kwargs["seed"] = args.seed
+        if args.rounds and args.artifact in ("fig8", "fig10"):
+            kwargs["rounds"] = args.rounds
+    # overhead takes neither models nor scale
+    print(fmt_fn(run_fn(**kwargs)))
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    """`repro overhead` — §5.5 profiling-memory accounting."""
+    print(format_overhead(run_overhead(paper_arch=args.paper_arch,
+                                       iterations=args.iterations)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "reproduce": cmd_reproduce,
+        "overhead": cmd_overhead,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

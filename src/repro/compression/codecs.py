@@ -1,0 +1,84 @@
+"""Update codecs: the interface between compression and the FL runtime.
+
+A codec turns a per-layer update dict into the (possibly lossy) dict the
+server will receive plus the wire size in bytes. Codecs are *stateful per
+client* (top-k keeps residual memory), so strategies create one codec per
+client through a factory.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .quantization import dequantize, quantize, quantized_nbytes
+from .sparsification import ResidualStore, densify, sparse_nbytes, top_k_sparsify
+
+__all__ = ["UpdateCodec", "IdentityCodec", "QuantizationCodec", "TopKCodec"]
+
+
+class UpdateCodec(ABC):
+    """Encode a client's round update for transmission."""
+
+    @abstractmethod
+    def encode(
+        self, update: dict[str, np.ndarray]
+    ) -> tuple[dict[str, np.ndarray], int]:
+        """Return ``(update_as_received, wire_bytes)``."""
+
+
+class IdentityCodec(UpdateCodec):
+    """Uncompressed float32 transmission (4 bytes/scalar)."""
+
+    def encode(self, update):
+        """Pass the update through unchanged; count 4 bytes per scalar."""
+        nbytes = sum(np.asarray(v).size * 4 for v in update.values())
+        return {k: np.asarray(v, dtype=np.float32) for k, v in update.items()}, nbytes
+
+
+class QuantizationCodec(UpdateCodec):
+    """QSGD-style per-layer stochastic quantization."""
+
+    def __init__(self, bits: int = 8, *, seed: int = 0) -> None:
+        if not 2 <= bits <= 16:
+            raise ValueError("bits must be in [2, 16]")
+        self.bits = bits
+        self._rng = np.random.default_rng(seed)
+
+    def encode(self, update):
+        """Quantize each layer independently; return the dequantised view."""
+        received: dict[str, np.ndarray] = {}
+        nbytes = 0
+        for name, value in update.items():
+            q = quantize(value, self.bits, rng=self._rng)
+            received[name] = dequantize(q)
+            nbytes += q.nbytes
+        return received, nbytes
+
+
+class TopKCodec(UpdateCodec):
+    """Top-k sparsification with per-layer residual error feedback.
+
+    ``fraction`` is the kept share of each layer's scalars (at least one
+    scalar per layer survives, so tiny bias vectors are never silenced).
+    """
+
+    def __init__(self, fraction: float = 0.1) -> None:
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+        self._residuals = ResidualStore()
+
+    def encode(self, update):
+        """Residual-corrected top-k per layer; dropped mass feeds back."""
+        received: dict[str, np.ndarray] = {}
+        nbytes = 0
+        for name, value in update.items():
+            corrected = self._residuals.add(name, value)
+            k = max(1, int(round(self.fraction * corrected.size)))
+            sparse, residual = top_k_sparsify(corrected, k)
+            self._residuals.set(name, residual)
+            received[name] = densify(sparse)
+            nbytes += sparse_nbytes(k)
+        return received, nbytes

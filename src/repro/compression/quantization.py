@@ -1,0 +1,85 @@
+"""Stochastic uniform quantization (QSGD-style, paper ref. [4]).
+
+One of the two classical communication-efficiency baselines the paper's
+§2.2 surveys ("quantization means to use fewer bits for each element,
+originally represented by 32 bits"). Implemented as an update codec so the
+simulator can charge the compressed byte count on the uplink and aggregate
+the dequantised values — making FedCA comparable against the
+server-autocratic compression alternative it argues against.
+
+Scheme: per-tensor max-magnitude scaling with ``2^{bits-1} − 1`` stochastic
+levels and a sign bit, the QSGD construction. The encoded payload is
+``bits`` per element plus one float32 scale per tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantizedTensor", "quantize", "dequantize", "quantized_nbytes"]
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """Encoded tensor: integer levels, sign-folded, plus the scale."""
+
+    levels: np.ndarray  # int8/int16 signed level indices
+    scale: float
+    bits: int
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return quantized_nbytes(int(np.prod(self.shape)), self.bits)
+
+
+def quantized_nbytes(num_elements: int, bits: int) -> int:
+    """Wire size: ``bits`` per element (bit-packed) + 4-byte scale."""
+    if num_elements < 0:
+        raise ValueError("num_elements must be non-negative")
+    if not 2 <= bits <= 16:
+        raise ValueError("bits must be in [2, 16]")
+    return (num_elements * bits + 7) // 8 + 4
+
+
+def quantize(
+    tensor: np.ndarray, bits: int = 8, *, rng: np.random.Generator | None = None
+) -> QuantizedTensor:
+    """Stochastically quantize to ``2^{bits-1} − 1`` magnitude levels.
+
+    Stochastic rounding makes the codec unbiased: ``E[dequantize(q)] ==
+    tensor`` (the property the convergence analyses of QSGD rely on, and
+    that the property tests check).
+    """
+    if not 2 <= bits <= 16:
+        raise ValueError("bits must be in [2, 16]")
+    rng = rng or np.random.default_rng()
+    flat = np.asarray(tensor, dtype=np.float64).ravel()
+    scale = float(np.max(np.abs(flat))) if flat.size else 0.0
+    num_levels = (1 << (bits - 1)) - 1
+    if scale == 0.0:
+        levels = np.zeros(flat.size, dtype=np.int16)
+    else:
+        normalized = flat / scale * num_levels  # in [-L, L]
+        floor = np.floor(normalized)
+        frac = normalized - floor
+        levels = (floor + (rng.random(flat.size) < frac)).astype(np.int16)
+        levels = np.clip(levels, -num_levels, num_levels)
+    dtype = np.int8 if bits <= 8 else np.int16
+    return QuantizedTensor(
+        levels=levels.astype(dtype),
+        scale=scale,
+        bits=bits,
+        shape=tuple(np.asarray(tensor).shape),
+    )
+
+
+def dequantize(q: QuantizedTensor) -> np.ndarray:
+    """Reconstruct the float32 tensor."""
+    num_levels = (1 << (q.bits - 1)) - 1
+    if q.scale == 0.0 or num_levels == 0:
+        return np.zeros(q.shape, dtype=np.float32)
+    values = q.levels.astype(np.float64) / num_levels * q.scale
+    return values.reshape(q.shape).astype(np.float32)

@@ -1,0 +1,69 @@
+"""FedCA hyperparameters (paper §5.1 defaults) and ablation switches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FedCAConfig"]
+
+
+@dataclass(frozen=True)
+class FedCAConfig:
+    """Configuration for the FedCA client engine.
+
+    Defaults match §5.1: profiling every 10 rounds, β = 0.01, T_e = 0.95,
+    T_r = 0.6, intra-layer sampling at min(50 %, 100) scalars. The three
+    ``enable_*`` switches implement the paper's ablation variants:
+
+    * FedCA-v1 — ``enable_eager_transmit=False`` (early stop only)
+    * FedCA-v2 — ``enable_retransmit=False`` (eager without error feedback)
+    * FedCA-v3 — all enabled (standard FedCA)
+    """
+
+    profile_every: int = 10
+    beta: float = 0.01
+    eager_threshold: float = 0.95  # T_e in Eq. 5
+    retransmit_threshold: float = 0.6  # T_r in Eq. 6
+    sample_fraction: float = 0.5
+    sample_cap: int = 100
+    min_local_iterations: int = 1
+    enable_early_stop: bool = True
+    enable_eager_transmit: bool = True
+    enable_retransmit: bool = True
+
+    def __post_init__(self) -> None:
+        if self.profile_every < 1:
+            raise ValueError("profile_every must be >= 1")
+        if not 0 < self.beta <= 1:
+            raise ValueError("beta must be in (0, 1]")
+        if not 0 < self.eager_threshold <= 1:
+            raise ValueError("eager_threshold must be in (0, 1]")
+        if not -1 <= self.retransmit_threshold <= 1:
+            raise ValueError("retransmit_threshold must be a valid cosine bound")
+        if not 0 < self.sample_fraction <= 1:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        if self.sample_cap < 1:
+            raise ValueError("sample_cap must be >= 1")
+        if self.min_local_iterations < 1:
+            raise ValueError("min_local_iterations must be >= 1")
+        if self.enable_retransmit and not self.enable_eager_transmit:
+            raise ValueError("retransmission requires eager transmission")
+
+    # Convenience constructors for the ablation study (Fig. 9). ----------
+    @classmethod
+    def v1(cls, **overrides) -> "FedCAConfig":
+        """Early-stop only."""
+        overrides.setdefault("enable_eager_transmit", False)
+        overrides.setdefault("enable_retransmit", False)
+        return cls(**overrides)
+
+    @classmethod
+    def v2(cls, **overrides) -> "FedCAConfig":
+        """Early-stop + eager transmission, no retransmission."""
+        overrides.setdefault("enable_retransmit", False)
+        return cls(**overrides)
+
+    @classmethod
+    def v3(cls, **overrides) -> "FedCAConfig":
+        """Standard FedCA."""
+        return cls(**overrides)

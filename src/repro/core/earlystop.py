@@ -1,0 +1,46 @@
+"""Early-stopping policy (paper §4.2, ``TryEarlyStop``)."""
+
+from __future__ import annotations
+
+from .config import FedCAConfig
+from .profiler import ProfiledCurves
+from .utility import net_benefit
+
+__all__ = ["EarlyStopPolicy"]
+
+
+class EarlyStopPolicy:
+    """Decides after each local iteration whether to terminate the round.
+
+    The policy is pure decision logic: the caller supplies the iteration
+    index and the *actual* elapsed wall-clock time (the client's
+    instantaneous system status), and the policy combines them with the most
+    recently profiled statistical curve. A client under a sudden slowdown
+    accumulates elapsed time faster, its marginal cost rises sooner, and it
+    stops earlier — the intra-round reactivity that server-autocratic
+    schemes lack.
+    """
+
+    def __init__(self, curves: ProfiledCurves, config: FedCAConfig) -> None:
+        self.curves = curves
+        self.config = config
+
+    def should_stop(self, tau: int, elapsed: float, deadline: float) -> bool:
+        """True if the round should terminate after completing iteration τ.
+
+        Per Eq. 4 the client stops as soon as the net benefit of the just
+        completed iteration turns negative. Iterations below
+        ``min_local_iterations`` never stop (a round must contribute
+        *something*), and τ beyond the profiled K trivially stops.
+        """
+        if tau < 1:
+            raise ValueError("tau must be >= 1")
+        if not self.config.enable_early_stop:
+            return False
+        if tau < self.config.min_local_iterations:
+            return False
+        if tau >= self.curves.num_iterations:
+            return True
+        return (
+            net_benefit(self.curves, tau, elapsed, deadline, self.config.beta) < 0.0
+        )

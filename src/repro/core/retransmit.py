@@ -1,0 +1,39 @@
+"""Error-feedback retransmission check (paper §4.3, Eq. 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .progress import cosine_similarity
+
+__all__ = ["needs_retransmission", "deviated_layers"]
+
+
+def needs_retransmission(
+    final_update: np.ndarray, transmitted_update: np.ndarray, threshold: float
+) -> bool:
+    """True if the layer's ultimate update deviates from the eagerly
+    transmitted one: ``cos(G_{R,l}, Ĝ_{R,l}) < T_r`` (Eq. 6)."""
+    if not -1 <= threshold <= 1:
+        raise ValueError("threshold must be a valid cosine bound")
+    return cosine_similarity(final_update, transmitted_update) < threshold
+
+
+def deviated_layers(
+    final_updates: dict[str, np.ndarray],
+    transmitted_updates: dict[str, np.ndarray],
+    threshold: float,
+) -> list[str]:
+    """All eagerly transmitted layers requiring retransmission.
+
+    ``transmitted_updates`` holds the values as of each layer's eager
+    transmission; keys absent from it were never eagerly sent and are not
+    checked.
+    """
+    out = []
+    for name, sent in transmitted_updates.items():
+        if name not in final_updates:
+            raise KeyError(f"transmitted layer {name!r} missing from final updates")
+        if needs_retransmission(final_updates[name], sent, threshold):
+            out.append(name)
+    return out

@@ -1,0 +1,87 @@
+"""Named workload datasets and train/test splitting.
+
+The paper's three workloads are CNN/CIFAR-10, LSTM/KWS and WRN/CIFAR-100;
+:func:`make_workload_data` produces their synthetic stand-ins. Train and
+test sets are carved from a *single* generated pool so they share class
+prototypes — generating them with different seeds would produce disjoint
+concepts and an unlearnable test set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import Dataset, make_image_dataset, make_sequence_dataset
+
+__all__ = ["train_test_split", "make_workload_data", "WORKLOAD_NAMES"]
+
+WORKLOAD_NAMES = ("cnn", "lstm", "wrn")
+
+
+def train_test_split(
+    dataset: Dataset, *, test_fraction: float = 0.2, seed: int = 0
+) -> tuple[Dataset, Dataset]:
+    """Random disjoint train/test split of one dataset."""
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = len(dataset)
+    n_test = max(1, int(round(test_fraction * n)))
+    if n_test >= n:
+        raise ValueError("dataset too small to split")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    return dataset.subset(np.sort(perm[n_test:])), dataset.subset(np.sort(perm[:n_test]))
+
+
+def make_workload_data(
+    name: str,
+    *,
+    num_samples: int = 2000,
+    test_fraction: float = 0.2,
+    num_classes: int | None = None,
+    image_size: int = 12,
+    seq_len: int = 10,
+    seq_channels: int = 8,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """Build ``(train, test)`` for one of the paper's workloads.
+
+    * ``"cnn"`` — 10-class image task (CIFAR-10 stand-in)
+    * ``"lstm"`` — 10-class sequence task (KWS stand-in)
+    * ``"wrn"`` — 20-class image task (CIFAR-100 stand-in; 20 keeps the
+      micro-scale model trainable while preserving the "more classes,
+      harder task" relationship to the CNN workload)
+
+    Noise levels are tuned per family so that test accuracy climbs gradually
+    over hundreds of SGD iterations instead of saturating instantly —
+    time-to-accuracy comparisons need a non-degenerate learning curve.
+    """
+    key = name.lower()
+    if key == "cnn":
+        pool = make_image_dataset(
+            num_samples=num_samples,
+            num_classes=num_classes or 10,
+            image_size=image_size,
+            noise=2.5,
+            seed=seed,
+        )
+    elif key == "lstm":
+        pool = make_sequence_dataset(
+            num_samples=num_samples,
+            num_classes=num_classes or 10,
+            seq_len=seq_len,
+            channels=seq_channels,
+            noise=0.8,
+            seed=seed,
+        )
+    elif key == "wrn":
+        pool = make_image_dataset(
+            num_samples=num_samples,
+            num_classes=num_classes or 20,
+            image_size=image_size,
+            noise=2.0,
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown workload {name!r}; expected one of {WORKLOAD_NAMES}")
+    return train_test_split(pool, test_fraction=test_fraction, seed=seed + 1)

@@ -1,0 +1,101 @@
+"""Fig. 5 — sampled vs full profiling fidelity.
+
+For one layer per workload, the progress curve computed from the sampled
+parameter subset (``min(50 %, 100)`` scalars) is compared against the curve
+from the full layer, *on the same training trajectory*. The reproduction
+claim: the two curves closely align, validating intra-layer sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import LayerSampler
+from .fig2 import _advance
+from .configs import get_workload
+from .probe import probe_curves
+from .report import format_series
+
+__all__ = ["run_fig5", "format_fig5", "DEFAULT_LAYERS"]
+
+DEFAULT_LAYERS: dict[str, str] = {
+    "cnn": "fc2.weight",
+    "lstm": "rnn.weight_ih_l1",
+    # The paper plots "conv3.1.residual.3.bias"; in this repo's block layout
+    # index 3 is the (parameter-free) Dropout and the second BN's bias lives
+    # at residual.4 — run_fig5 resolves via the fallback list below.
+    "wrn": "conv3.0.residual.3.bias",
+}
+
+_WRN_FALLBACKS = ("conv3.0.residual.4.bias", "conv3.0.residual.0.bias")
+
+
+def run_fig5(
+    *,
+    models: tuple[str, ...] = ("cnn", "lstm", "wrn"),
+    scale: str = "micro",
+    early_round: int = 2,
+    late_round: int = 12,
+    client: int = 0,
+    seed: int = 0,
+) -> dict:
+    """Returns ``{model: {stage: {"full": curve, "sampled": curve,
+    "max_gap": float}}}``."""
+    out: dict = {}
+    for model in models:
+        cfg = get_workload(model, scale)
+        out[model] = {}
+        for stage, target_round in (("early", early_round), ("late", late_round)):
+            sim = _advance(cfg, target_round, seed)
+            sampler = LayerSampler.for_model(cfg.model_fn()(), seed=seed)
+            probe = probe_curves(
+                model_fn=cfg.model_fn(),
+                shard=sim.clients[client].shard,
+                global_state=sim.global_state,
+                optimizer=cfg.optimizer_spec(),
+                iterations=cfg.local_iterations,
+                batch_size=cfg.batch_size,
+                sampler=sampler,
+                seed=seed + client,
+            )
+            layer = DEFAULT_LAYERS[model]
+            if layer not in probe.layer_curves:
+                for candidate in _WRN_FALLBACKS:
+                    if candidate in probe.layer_curves:
+                        layer = candidate
+                        break
+                else:
+                    raise KeyError(f"no fallback layer found for {model}")
+            full = probe.layer_curves[layer]
+            sampled = probe.sampled_layer_curves[layer]
+            out[model][stage] = {
+                "layer": layer,
+                "full": full,
+                "sampled": sampled,
+                "max_gap": float(np.max(np.abs(full - sampled))),
+            }
+    return out
+
+
+def format_fig5(data: dict) -> str:
+    lines = ["Fig. 5 — sampled vs full profiling"]
+    for model, stages in data.items():
+        for stage, entry in stages.items():
+            xs = np.arange(1, len(entry["full"]) + 1).tolist()
+            lines.append(
+                f"{model}/{stage} layer={entry['layer']} "
+                f"max|full−sampled| = {entry['max_gap']:.4f}"
+            )
+            lines.append(
+                format_series(
+                    f"{model}/{stage}/full", xs, entry["full"].tolist(),
+                    x_label="iter", y_label="P", max_points=15,
+                )
+            )
+            lines.append(
+                format_series(
+                    f"{model}/{stage}/sampled", xs, entry["sampled"].tolist(),
+                    x_label="iter", y_label="P", max_points=15,
+                )
+            )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Plain-text reporting helpers shared by the experiment harness.
+
+Every table/figure module prints through these so bench output reads like
+the paper's tables: aligned rows for tables, ``(x, y)`` series dumps for
+figures. No plotting dependencies — the series are the reproduction
+artefact; rendering is the reader's choice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "cdf_points", "downsample"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 25,
+) -> str:
+    """One figure series as a compact ``x:y`` listing (downsampled)."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    xs_d, ys_d = downsample(xs, max_points), downsample(ys, max_points)
+    pairs = " ".join(f"{x:.3g}:{y:.3g}" for x, y in zip(xs_d, ys_d))
+    return f"{name} [{x_label} -> {y_label}] {pairs}"
+
+
+def downsample(values: Sequence[float], max_points: int) -> list[float]:
+    """Evenly-spaced subsample preserving first and last points."""
+    if max_points < 2:
+        raise ValueError("max_points must be >= 2")
+    n = len(values)
+    if n <= max_points:
+        return list(values)
+    idx = [round(i * (n - 1) / (max_points - 1)) for i in range(max_points)]
+    return [values[i] for i in idx]
+
+
+def cdf_points(samples: Sequence[float]) -> tuple[list[float], list[float]]:
+    """Empirical CDF ``(sorted values, cumulative fractions)`` for Fig. 8."""
+    if not samples:
+        return [], []
+    ordered = sorted(samples)
+    n = len(ordered)
+    return ordered, [(i + 1) / n for i in range(n)]

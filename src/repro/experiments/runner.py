@@ -1,0 +1,99 @@
+"""Scheme-vs-scheme run orchestration for the evaluation experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms import build_strategy
+from ..core import FedCAConfig
+from ..runtime import RunHistory
+from .configs import WorkloadConfig, make_environment
+
+__all__ = ["SchemeResult", "run_scheme", "compare_schemes"]
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """Outcome of one (workload, scheme) training run."""
+
+    workload: str
+    scheme: str
+    history: RunHistory
+    target_accuracy: float
+
+    @property
+    def reached_target(self) -> bool:
+        return self.history.time_to_accuracy(self.target_accuracy) is not None
+
+    @property
+    def rounds_to_target(self) -> int | None:
+        tta = self.history.time_to_accuracy(self.target_accuracy)
+        return None if tta is None else tta[1]
+
+    @property
+    def time_to_target(self) -> float | None:
+        tta = self.history.time_to_accuracy(self.target_accuracy)
+        return None if tta is None else tta[0]
+
+    @property
+    def mean_round_time(self) -> float:
+        return self.history.mean_round_time()
+
+
+def run_scheme(
+    cfg: WorkloadConfig,
+    scheme: str,
+    *,
+    rounds: int | None = None,
+    stop_at_target: bool = True,
+    seed: int = 0,
+    dynamic: bool = True,
+    fedca_config: FedCAConfig | None = None,
+) -> SchemeResult:
+    """Train one workload under one scheme and return its history.
+
+    When no explicit ``fedca_config`` is given, FedCA variants take the
+    workload's scale-adapted profiling period (see
+    :class:`~repro.experiments.configs.WorkloadConfig.fedca_profile_every`).
+    """
+    if fedca_config is None and scheme.lower().startswith("fedca"):
+        fedca_config = FedCAConfig(profile_every=cfg.fedca_profile_every)
+    strategy = build_strategy(
+        scheme, cfg.optimizer_spec(), fedca_config=fedca_config
+    )
+    sim = make_environment(cfg, strategy, seed=seed, dynamic=dynamic)
+    history = sim.run(
+        rounds or cfg.default_rounds,
+        target_accuracy=cfg.target_accuracy if stop_at_target else None,
+    )
+    return SchemeResult(
+        workload=cfg.name,
+        scheme=strategy.name,
+        history=history,
+        target_accuracy=cfg.target_accuracy,
+    )
+
+
+def compare_schemes(
+    cfg: WorkloadConfig,
+    schemes: list[str],
+    *,
+    rounds: int | None = None,
+    stop_at_target: bool = True,
+    seed: int = 0,
+    dynamic: bool = True,
+    fedca_config: FedCAConfig | None = None,
+) -> list[SchemeResult]:
+    """Run several schemes under identical data/system conditions."""
+    return [
+        run_scheme(
+            cfg,
+            scheme,
+            rounds=rounds,
+            stop_at_target=stop_at_target,
+            seed=seed,
+            dynamic=dynamic,
+            fedca_config=fedca_config,
+        )
+        for scheme in schemes
+    ]

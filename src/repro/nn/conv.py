@@ -1,0 +1,89 @@
+"""2-D convolution via cached im2col + single GEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """Convolution over ``(N, C, H, W)`` inputs.
+
+    The im2col gather indices depend only on the input geometry, so they are
+    computed on the first forward for a given ``(H, W)`` and reused for every
+    subsequent batch — the per-iteration cost is one gather plus one GEMM.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            )
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self._indices = None
+        self._geom: tuple[int, int] | None = None
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def _ensure_indices(self, h: int, w: int) -> None:
+        if self._geom != (h, w):
+            self._indices = F.im2col_indices(
+                self.in_channels, h, w, self.kernel_size, self.kernel_size,
+                self.stride, self.padding,
+            )
+            self._geom = (h, w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        self._ensure_indices(h, w)
+        _, _, _, out_h, out_w = self._indices
+        cols = F.im2col(x, self._indices, self.padding)  # (N, C*k*k, L)
+        self._cols = cols
+        self._x_shape = x.shape
+        w_mat = self.weight.data.reshape(self.out_channels, -1)  # (F, C*k*k)
+        out = np.einsum("fk,nkl->nfl", w_mat, cols, optimize=True)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None]
+        return out.reshape(n, self.out_channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None:
+            raise RuntimeError("Conv2d.backward called before forward")
+        n = grad_out.shape[0]
+        grad_flat = grad_out.reshape(n, self.out_channels, -1)  # (N, F, L)
+        # dW: sum over batch and spatial positions.
+        dw = np.einsum("nfl,nkl->fk", grad_flat, self._cols, optimize=True)
+        self.weight.grad += dw.reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_flat.sum(axis=(0, 2))
+        # dX: project back through the filter bank then fold columns.
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        dcols = np.einsum("fk,nfl->nkl", w_mat, grad_flat, optimize=True)
+        return F.col2im(dcols, self._x_shape, self._indices, self.padding)

@@ -1,0 +1,128 @@
+"""Stateless numerical kernels shared by layers and losses.
+
+Everything here is vectorised NumPy operating on ``float32``; these are the
+hot paths of the reproduction, so the implementations avoid Python-level
+loops over batch or spatial dimensions (the im2col transform trades memory
+for a single large GEMM, the standard CPU strategy for small convnets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "im2col_indices",
+    "im2col",
+    "col2im",
+]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise max(x, 0)."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """d(relu)/dx — masks the upstream gradient where the input was ≤ 0."""
+    return grad_out * (x > 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    # Split by sign to stay overflow-free in float32.
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Elementwise hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Shift-stabilised softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Shift-stabilised log-softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+def im2col_indices(
+    c: int, h: int, w: int, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Precompute gather indices for :func:`im2col`.
+
+    Returns ``(k, i, j, out_h, out_w)`` where fancy-indexing a padded input
+    of shape ``(N, C, H+2p, W+2p)`` with ``[:, k, i, j]`` yields the column
+    tensor of shape ``(N, C*kh*kw, out_h*out_w)``. The index triple only
+    depends on geometry, so callers cache it per layer.
+    """
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"conv geometry yields empty output: input {h}x{w}, kernel {kh}x{kw}, "
+            f"stride {stride}, pad {pad}"
+        )
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)  # (C*kh*kw, out_h*out_w)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(
+    x: np.ndarray,
+    indices: tuple[np.ndarray, np.ndarray, np.ndarray, int, int],
+    pad: int,
+) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into columns ``(N, C*kh*kw, out_h*out_w)``."""
+    k, i, j, _, _ = indices
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    return x[:, k, i, j]
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    indices: tuple[np.ndarray, np.ndarray, np.ndarray, int, int],
+    pad: int,
+) -> np.ndarray:
+    """Fold columns back into an input-shaped gradient, summing overlaps.
+
+    This is the adjoint of :func:`im2col` — exactly what the conv backward
+    pass needs for the input gradient.
+    """
+    n, c, h, w = x_shape
+    k, i, j, _, _ = indices
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    # Scatter-add: duplicate (k,i,j) triples (overlapping windows) must sum.
+    np.add.at(padded, (slice(None), k, i, j), cols)
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded

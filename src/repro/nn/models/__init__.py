@@ -1,0 +1,24 @@
+"""Workload models mirroring the paper's CNN / LSTM / WRN trio."""
+
+from .cnn import LeNetCNN
+from .lstm import LSTMClassifier
+from .wrn import WideResNet, ResidualBlock
+
+__all__ = ["LeNetCNN", "LSTMClassifier", "WideResNet", "ResidualBlock", "build_model"]
+
+
+def build_model(name: str, *, rng=None, **kwargs):
+    """Factory used by the experiment harness.
+
+    ``name`` is one of ``"cnn"``, ``"lstm"``, ``"wrn"`` (case-insensitive).
+    Extra keyword arguments override the model's defaults (e.g. ``depth`` for
+    WRN, ``hidden_size`` for the LSTM).
+    """
+    key = name.lower()
+    if key == "cnn":
+        return LeNetCNN(rng=rng, **kwargs)
+    if key == "lstm":
+        return LSTMClassifier(rng=rng, **kwargs)
+    if key == "wrn":
+        return WideResNet(rng=rng, **kwargs)
+    raise ValueError(f"unknown model {name!r}; expected one of cnn/lstm/wrn")

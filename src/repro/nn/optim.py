@@ -1,0 +1,107 @@
+"""Optimisers for local client training.
+
+The paper trains every workload with plain SGD plus weight decay; FedProx
+adds a proximal term μ‖w − w_global‖² to the local objective, which at the
+update level is an extra ``μ (w − w_global)`` gradient component — so it is
+implemented here as an optimiser variant rather than a loss change, keeping
+the training loop identical across algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["SGD", "ProxSGD"]
+
+
+class SGD:
+    """Vanilla SGD with decoupled-from-nothing (torch-style coupled) weight
+    decay and optional momentum.
+
+    ``weight_decay`` is added to the gradient before the step, matching
+    ``torch.optim.SGD`` semantics used in the paper's setup.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float,
+        *,
+        weight_decay: float = 0.0,
+        momentum: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.model = model
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] | None = (
+            {id(p): np.zeros_like(p.data) for p in model.parameters()}
+            if momentum > 0.0
+            else None
+        )
+
+    def _effective_grad(self, p: Parameter) -> np.ndarray:
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        return grad
+
+    def step(self) -> None:
+        """Apply one update to every parameter from its accumulated grad."""
+        for p in self.model.parameters():
+            grad = self._effective_grad(p)
+            if self._velocity is not None:
+                v = self._velocity[id(p)]
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data -= self.lr * grad
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients (delegates to the model)."""
+        self.model.zero_grad()
+
+
+class ProxSGD(SGD):
+    """SGD with a FedProx proximal pull toward the round-start global model.
+
+    The anchor (``global_state``) must be set at the start of every round via
+    :meth:`set_anchor`; it is the model broadcast by the server.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float,
+        *,
+        mu: float,
+        weight_decay: float = 0.0,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(model, lr, weight_decay=weight_decay, momentum=momentum)
+        if mu < 0:
+            raise ValueError("mu must be non-negative")
+        self.mu = mu
+        self._anchor: dict[str, np.ndarray] | None = None
+
+    def set_anchor(self, global_state: dict[str, np.ndarray]) -> None:
+        """Install the round-start global model the proximal term pulls to."""
+        self._anchor = {k: np.asarray(v, dtype=np.float32) for k, v in global_state.items()}
+
+    def _effective_grad(self, p: Parameter) -> np.ndarray:
+        grad = super()._effective_grad(p)
+        if self.mu and self._anchor is not None:
+            anchor = self._anchor.get(p.name)
+            if anchor is None:
+                raise KeyError(f"ProxSGD anchor missing parameter {p.name!r}")
+            grad = grad + self.mu * (p.data - anchor)
+        return grad

@@ -1,0 +1,108 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling (``stride == kernel_size``).
+
+    The forward reshapes ``(N, C, H, W)`` into pooling windows with a view
+    (no copy) and records the argmax mask for the backward scatter.
+    Inputs whose spatial dims are not multiples of the kernel are truncated,
+    matching torch's floor-mode behaviour.
+    """
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+        self._mask: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+        self._trunc: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        th, tw = (h // k) * k, (w // k) * k
+        self._x_shape = x.shape
+        self._trunc = (th, tw)
+        xt = x[:, :, :th, :tw]
+        windows = xt.reshape(n, c, th // k, k, tw // k, k)
+        out = windows.max(axis=(3, 5))
+        # Mask marks, within each window, the positions equal to the max.
+        # Ties propagate gradient to every maximal element; acceptable for
+        # training and keeps the backward a pure broadcast.
+        self._mask = windows == out[:, :, :, None, :, None]
+        self._tie_counts = self._mask.sum(axis=(3, 5))
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        n, c, h, w = self._x_shape
+        th, tw = self._trunc
+        # Split gradient evenly among tied maxima so the pooled gradient sum
+        # is conserved (an invariant the property tests check).
+        g = grad_out / self._tie_counts
+        grad_windows = self._mask * g[:, :, :, None, :, None]
+        grad = np.zeros(self._x_shape, dtype=grad_out.dtype)
+        grad[:, :, :th, :tw] = grad_windows.reshape(n, c, th, tw)
+        return grad
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+        self._x_shape: tuple[int, ...] | None = None
+        self._trunc: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        th, tw = (h // k) * k, (w // k) * k
+        self._x_shape = x.shape
+        self._trunc = (th, tw)
+        windows = x[:, :, :th, :tw].reshape(n, c, th // k, k, tw // k, k)
+        return windows.mean(axis=(3, 5))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        n, c, h, w = self._x_shape
+        th, tw = self._trunc
+        g = grad_out / (k * k)
+        grad = np.zeros(self._x_shape, dtype=grad_out.dtype)
+        expanded = np.broadcast_to(
+            g[:, :, :, None, :, None], (n, c, th // k, k, tw // k, k)
+        )
+        grad[:, :, :th, :tw] = expanded.reshape(n, c, th, tw)
+        return grad
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions, yielding ``(N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._x_shape
+        g = grad_out / (h * w)
+        return np.broadcast_to(g[:, :, None, None], self._x_shape).astype(
+            grad_out.dtype
+        ).copy()

@@ -1,0 +1,155 @@
+"""Multi-layer LSTM with truncated-free full BPTT.
+
+Parameter naming follows torch (``weight_ih_l0``, ``weight_hh_l0``,
+``bias_ih_l0``, ``bias_hh_l0``, …) because the paper's per-layer figures
+refer to names like ``rnn.weight_hh_l0`` and ``rnn.bias_ih_l1``.
+Gate layout inside the stacked ``4H`` dimension is torch's ``i, f, g, o``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["LSTM"]
+
+
+class LSTM(Module):
+    """Stacked LSTM over ``(N, T, D)`` input; returns the top layer's final
+    hidden state ``(N, H)``.
+
+    Classification models feed that hidden state to a linear head, which is
+    exactly the KWS workload shape used in the paper.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        h = hidden_size
+        for layer in range(num_layers):
+            in_dim = input_size if layer == 0 else hidden_size
+            self.register_parameter(
+                f"weight_ih_l{layer}", Parameter(init.lstm_uniform((4 * h, in_dim), h, rng))
+            )
+            self.register_parameter(
+                f"weight_hh_l{layer}", Parameter(init.lstm_uniform((4 * h, h), h, rng))
+            )
+            self.register_parameter(
+                f"bias_ih_l{layer}", Parameter(init.lstm_uniform((4 * h,), h, rng))
+            )
+            self.register_parameter(
+                f"bias_hh_l{layer}", Parameter(init.lstm_uniform((4 * h,), h, rng))
+            )
+        self._cache: list[list[dict]] | None = None
+        self._x_shape: tuple[int, int, int] | None = None
+
+    # ------------------------------------------------------------------
+    def _params(self, layer: int) -> tuple[Parameter, Parameter, Parameter, Parameter]:
+        return (
+            self._parameters[f"weight_ih_l{layer}"],
+            self._parameters[f"weight_hh_l{layer}"],
+            self._parameters[f"bias_ih_l{layer}"],
+            self._parameters[f"bias_hh_l{layer}"],
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, t_steps, d = x.shape
+        if d != self.input_size:
+            raise ValueError(f"expected input size {self.input_size}, got {d}")
+        h_dim = self.hidden_size
+        self._x_shape = x.shape
+        self._cache = []
+        layer_input = x
+        for layer in range(self.num_layers):
+            w_ih, w_hh, b_ih, b_hh = self._params(layer)
+            h = np.zeros((n, h_dim), dtype=np.float32)
+            c = np.zeros((n, h_dim), dtype=np.float32)
+            steps: list[dict] = []
+            outputs = np.empty((n, t_steps, h_dim), dtype=np.float32)
+            for t in range(t_steps):
+                x_t = layer_input[:, t, :]
+                z = (
+                    x_t @ w_ih.data.T
+                    + h @ w_hh.data.T
+                    + b_ih.data
+                    + b_hh.data
+                )
+                i_g = F.sigmoid(z[:, :h_dim])
+                f_g = F.sigmoid(z[:, h_dim : 2 * h_dim])
+                g_g = np.tanh(z[:, 2 * h_dim : 3 * h_dim])
+                o_g = F.sigmoid(z[:, 3 * h_dim :])
+                c_new = f_g * c + i_g * g_g
+                tanh_c = np.tanh(c_new)
+                h_new = o_g * tanh_c
+                steps.append(
+                    {
+                        "x": x_t, "h_prev": h, "c_prev": c,
+                        "i": i_g, "f": f_g, "g": g_g, "o": o_g, "tanh_c": tanh_c,
+                    }
+                )
+                h, c = h_new, c_new
+                outputs[:, t, :] = h_new
+            self._cache.append(steps)
+            layer_input = outputs
+        return layer_input[:, -1, :]
+
+    def backward(self, grad_h_last: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("LSTM.backward called before forward")
+        n, t_steps, _ = self._x_shape
+        h_dim = self.hidden_size
+        # Gradient flowing into each timestep's hidden output of the layer
+        # currently being processed (from the layer above, or the loss).
+        dh_seq = np.zeros((n, t_steps, h_dim), dtype=np.float32)
+        dh_seq[:, -1, :] = grad_h_last
+        dx_seq: np.ndarray | None = None
+        for layer in range(self.num_layers - 1, -1, -1):
+            w_ih, w_hh, b_ih, b_hh = self._params(layer)
+            steps = self._cache[layer]
+            in_dim = self.input_size if layer == 0 else h_dim
+            dx_seq = np.zeros((n, t_steps, in_dim), dtype=np.float32)
+            dh_next = np.zeros((n, h_dim), dtype=np.float32)
+            dc_next = np.zeros((n, h_dim), dtype=np.float32)
+            for t in range(t_steps - 1, -1, -1):
+                s = steps[t]
+                dh = dh_seq[:, t, :] + dh_next
+                do = dh * s["tanh_c"]
+                dc = dh * s["o"] * (1.0 - s["tanh_c"] ** 2) + dc_next
+                di = dc * s["g"]
+                df = dc * s["c_prev"]
+                dg = dc * s["i"]
+                dz = np.concatenate(
+                    [
+                        di * s["i"] * (1.0 - s["i"]),
+                        df * s["f"] * (1.0 - s["f"]),
+                        dg * (1.0 - s["g"] ** 2),
+                        do * s["o"] * (1.0 - s["o"]),
+                    ],
+                    axis=1,
+                )
+                w_ih.grad += dz.T @ s["x"]
+                w_hh.grad += dz.T @ s["h_prev"]
+                dbias = dz.sum(axis=0)
+                b_ih.grad += dbias
+                b_hh.grad += dbias
+                dx_seq[:, t, :] = dz @ w_ih.data
+                dh_next = dz @ w_hh.data
+                dc_next = dc * s["f"]
+            dh_seq = dx_seq  # feeds the layer below
+        return dx_seq

@@ -1,0 +1,68 @@
+"""Model checkpointing: save/load parameters and buffers as ``.npz``.
+
+The federated simulator is in-process, but users reproducing long runs want
+to checkpoint the global model between experiment phases (e.g. advance a
+FedAvg environment to round 200, save, then probe curves offline).
+Parameters and buffers share one archive, disambiguated by a prefix, so a
+checkpoint is a single file per model.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_model", "load_model", "state_to_bytes", "state_from_bytes"]
+
+_PARAM_PREFIX = "param::"
+_BUFFER_PREFIX = "buffer::"
+
+
+def save_model(model: Module, path: str | Path) -> None:
+    """Write the model's parameters and buffers to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        arrays[_PARAM_PREFIX + name] = value
+    for name, value in model.buffer_dict().items():
+        arrays[_BUFFER_PREFIX + name] = value
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+
+
+def load_model(model: Module, path: str | Path) -> None:
+    """Load a checkpoint written by :func:`save_model` into ``model``.
+
+    The checkpoint must match the model exactly (same layers, same shapes);
+    a partial load would silently corrupt federated state.
+    """
+    with np.load(path) as archive:
+        params = {
+            name[len(_PARAM_PREFIX):]: archive[name]
+            for name in archive.files
+            if name.startswith(_PARAM_PREFIX)
+        }
+        buffers = {
+            name[len(_BUFFER_PREFIX):]: archive[name]
+            for name in archive.files
+            if name.startswith(_BUFFER_PREFIX)
+        }
+    model.load_state_dict(params)
+    if buffers or model.buffer_dict():
+        model.load_buffer_dict(buffers)
+
+
+def state_to_bytes(state: dict[str, np.ndarray]) -> bytes:
+    """Serialise a plain state dict (e.g. the simulator's global state)."""
+    buf = io.BytesIO()
+    np.savez(buf, **state)
+    return buf.getvalue()
+
+
+def state_from_bytes(blob: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`state_to_bytes`."""
+    with np.load(io.BytesIO(blob)) as archive:
+        return {name: archive[name] for name in archive.files}

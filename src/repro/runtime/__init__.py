@@ -1,0 +1,37 @@
+"""``repro.runtime`` — the in-process federated-learning simulator."""
+
+from .aggregation import (
+    aggregate_buffers,
+    aggregate_updates,
+    apply_update,
+    collect_earliest,
+)
+from .client import SimClient
+from .export import (
+    history_from_dict,
+    history_to_csv,
+    history_to_dict,
+    history_to_json,
+)
+from .history import RoundRecord, RunHistory
+from .round import ClientRoundResult, RoundContext
+from .selection import select_clients
+from .simulator import FederatedSimulator
+
+__all__ = [
+    "FederatedSimulator",
+    "SimClient",
+    "RoundContext",
+    "ClientRoundResult",
+    "RoundRecord",
+    "RunHistory",
+    "aggregate_updates",
+    "aggregate_buffers",
+    "apply_update",
+    "collect_earliest",
+    "select_clients",
+    "history_to_dict",
+    "history_to_json",
+    "history_to_csv",
+    "history_from_dict",
+]

@@ -1,0 +1,95 @@
+"""Server-side update collection and FedAvg aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .round import ClientRoundResult
+
+__all__ = [
+    "collect_earliest",
+    "aggregate_updates",
+    "aggregate_buffers",
+    "apply_update",
+]
+
+
+def collect_earliest(
+    results: list[ClientRoundResult], fraction: float
+) -> tuple[list[ClientRoundResult], float]:
+    """Partial aggregation: keep the earliest-arriving ``fraction`` of
+    updates (paper §5.1 uses 90 %) and return them with the round-end time
+    (the arrival of the last collected update).
+
+    Updates arriving after the cut are discarded, as under vanilla FedAvg.
+    """
+    if not results:
+        raise ValueError("no client results to collect")
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    count = max(1, int(round(fraction * len(results))))
+    ordered = sorted(results, key=lambda r: r.upload_finish_time)
+    collected = ordered[:count]
+    return collected, collected[-1].upload_finish_time
+
+
+def aggregate_updates(
+    results: list[ClientRoundResult],
+) -> dict[str, np.ndarray]:
+    """Sample-count-weighted average of client updates (FedAvg)."""
+    if not results:
+        raise ValueError("cannot aggregate zero updates")
+    total = float(sum(r.num_samples for r in results))
+    if total <= 0:
+        raise ValueError("aggregate weight must be positive")
+    out: dict[str, np.ndarray] = {}
+    first = results[0].update
+    for name in first:
+        acc = np.zeros_like(np.asarray(first[name], dtype=np.float64))
+        for r in results:
+            if r.update.keys() != first.keys():
+                raise KeyError(
+                    f"client {r.client_id} update layers differ from client "
+                    f"{results[0].client_id}"
+                )
+            acc += (r.num_samples / total) * np.asarray(r.update[name], dtype=np.float64)
+        out[name] = acc.astype(np.float32)
+    return out
+
+
+def aggregate_buffers(
+    results: list[ClientRoundResult],
+) -> dict[str, np.ndarray]:
+    """Sample-count-weighted average of reported non-trainable buffers
+    (BatchNorm running statistics). Returns ``{}`` for buffer-free models.
+
+    Buffers are direct values, not deltas, so the aggregate replaces the
+    server's buffer state rather than being added to it.
+    """
+    if not results:
+        raise ValueError("cannot aggregate zero results")
+    first = results[0].buffers
+    if not first:
+        return {}
+    total = float(sum(r.num_samples for r in results))
+    out: dict[str, np.ndarray] = {}
+    for name in first:
+        acc = np.zeros_like(np.asarray(first[name], dtype=np.float64))
+        for r in results:
+            if r.buffers.keys() != first.keys():
+                raise KeyError(
+                    f"client {r.client_id} buffer keys differ from client "
+                    f"{results[0].client_id}"
+                )
+            acc += (r.num_samples / total) * np.asarray(r.buffers[name], dtype=np.float64)
+        out[name] = acc.astype(np.float32)
+    return out
+
+
+def apply_update(
+    global_state: dict[str, np.ndarray], update: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Return the refined global state ``w ← w + Δ``."""
+    if global_state.keys() != update.keys():
+        raise KeyError("update layers do not match global state")
+    return {name: global_state[name] + update[name] for name in global_state}

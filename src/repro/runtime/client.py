@@ -1,0 +1,90 @@
+"""Simulated FL client: local data, local model replica, device and link."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data import BatchStream, Dataset
+from ..nn import Module, softmax_cross_entropy
+from ..sysmodel import LinkModel, SpeedTrace, UplinkScheduler
+
+__all__ = ["SimClient"]
+
+
+class SimClient:
+    """One emulated edge device.
+
+    Bundles the client's data shard (with its cyclic batch stream), a private
+    model replica, the dynamic compute-speed trace and the uplink scheduler.
+    Strategies drive it through :meth:`load_global` / :meth:`train_step` and
+    read the system state directly.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        shard: Dataset,
+        *,
+        model_fn: Callable[[], Module],
+        batch_size: int,
+        trace: SpeedTrace,
+        link: LinkModel,
+        seed: int = 0,
+    ) -> None:
+        self.client_id = client_id
+        self.shard = shard
+        self.model = model_fn()
+        self.stream = BatchStream(shard, batch_size, seed=seed)
+        self.trace = trace
+        self.link = link
+        self.uplink = UplinkScheduler(link)
+        # Cache per-layer byte sizes once; they drive all transmission times.
+        self.layer_bytes: dict[str, int] = {
+            name: p.nbytes for name, p in self.model.named_parameters()
+        }
+        self.model_bytes: int = sum(self.layer_bytes.values())
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.shard)
+
+    # ------------------------------------------------------------------
+    def stage_buffers(self, buffers: dict[str, np.ndarray] | None) -> None:
+        """Store the server's broadcast buffer state (BatchNorm running
+        statistics etc.) for the next :meth:`load_global`. The simulator
+        stages these before handing the client to a strategy so strategies
+        stay buffer-agnostic."""
+        self._staged_buffers = None if buffers is None else dict(buffers)
+
+    def load_global(self, state: dict[str, np.ndarray]) -> None:
+        """Install the broadcast global model into the local replica."""
+        self.model.load_state_dict(state)
+        staged = getattr(self, "_staged_buffers", None)
+        if staged is not None:
+            self.model.load_buffer_dict(staged)
+        self.model.train(True)
+
+    def train_step(self, optimizer, batch_size: int | None = None) -> float:
+        """One local SGD iteration on the next minibatch; returns the loss.
+
+        ``batch_size`` overrides the stream default for this step (used by
+        the intra-round batch-adaptation extension)."""
+        x, y = self.stream.next_batch(batch_size)
+        logits = self.model(x)
+        loss, grad = softmax_cross_entropy(logits, y)
+        self.model.zero_grad()
+        self.model.backward(grad)
+        optimizer.step()
+        return loss
+
+    def current_state(self) -> dict[str, np.ndarray]:
+        return self.model.state_dict()
+
+    def local_update(self, global_state: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Accumulated update ``w_local − w_global`` per layer."""
+        return {
+            name: p.data - global_state[name]
+            for name, p in self.model.named_parameters()
+        }

@@ -1,0 +1,125 @@
+"""Run-history serialization: JSON and CSV exports for downstream analysis.
+
+The experiment harness prints paper-style rows; this module is for users
+who want the raw per-round records (to plot Fig. 7-style curves with their
+own tooling, or to archive runs).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from .history import RoundRecord, RunHistory
+
+__all__ = ["history_to_dict", "history_to_json", "history_to_csv", "history_from_dict"]
+
+_CSV_FIELDS = [
+    "round_index",
+    "start_time",
+    "end_time",
+    "duration",
+    "accuracy",
+    "mean_loss",
+    "mean_iterations",
+    "total_bytes",
+    "num_collected",
+    "num_stragglers",
+]
+
+
+def history_to_dict(history: RunHistory) -> dict[str, Any]:
+    """Full-fidelity plain-data representation (JSON-safe)."""
+    return {
+        "num_rounds": history.num_rounds,
+        "total_time": history.total_time,
+        "final_accuracy": history.final_accuracy,
+        "records": [
+            {
+                "round_index": r.round_index,
+                "start_time": r.start_time,
+                "end_time": r.end_time,
+                "accuracy": r.accuracy,
+                "mean_loss": r.mean_loss,
+                "collected_clients": list(r.collected_clients),
+                "straggler_clients": list(r.straggler_clients),
+                "mean_iterations": r.mean_iterations,
+                "total_bytes": r.total_bytes,
+                "client_events": {
+                    str(cid): _jsonable(ev) for cid, ev in r.client_events.items()
+                },
+            }
+            for r in history.records
+        ],
+    }
+
+
+def _jsonable(events: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in events.items():
+        if isinstance(value, dict):
+            out[key] = {str(k): _scalar(v) for k, v in value.items()}
+        elif isinstance(value, (list, tuple, set)):
+            out[key] = [_scalar(v) for v in value]
+        else:
+            out[key] = _scalar(value)
+    return out
+
+
+def _scalar(v: Any) -> Any:
+    if hasattr(v, "item"):
+        return v.item()
+    return v
+
+
+def history_to_json(history: RunHistory, *, indent: int | None = None) -> str:
+    return json.dumps(history_to_dict(history), indent=indent)
+
+
+def history_to_csv(history: RunHistory) -> str:
+    """One row per round; summary columns only (events stay in JSON)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_CSV_FIELDS)
+    writer.writeheader()
+    for r in history.records:
+        writer.writerow(
+            {
+                "round_index": r.round_index,
+                "start_time": r.start_time,
+                "end_time": r.end_time,
+                "duration": r.duration,
+                "accuracy": r.accuracy,
+                "mean_loss": r.mean_loss,
+                "mean_iterations": r.mean_iterations,
+                "total_bytes": r.total_bytes,
+                "num_collected": len(r.collected_clients),
+                "num_stragglers": len(r.straggler_clients),
+            }
+        )
+    return buf.getvalue()
+
+
+def history_from_dict(data: dict[str, Any]) -> RunHistory:
+    """Inverse of :func:`history_to_dict` (client-event keys come back as
+    ints; nested event dict keys stay strings, which is fine for analysis)."""
+    history = RunHistory()
+    for rec in data["records"]:
+        history.append(
+            RoundRecord(
+                round_index=rec["round_index"],
+                start_time=rec["start_time"],
+                end_time=rec["end_time"],
+                accuracy=rec["accuracy"],
+                mean_loss=rec["mean_loss"],
+                collected_clients=tuple(rec["collected_clients"]),
+                straggler_clients=tuple(rec["straggler_clients"]),
+                mean_iterations=rec["mean_iterations"],
+                total_bytes=rec["total_bytes"],
+                client_events={
+                    int(cid): ev for cid, ev in rec["client_events"].items()
+                },
+            )
+        )
+    return history

@@ -1,0 +1,89 @@
+"""Per-round data carriers exchanged between simulator, strategy and client."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["RoundContext", "ClientRoundResult"]
+
+
+@dataclass(frozen=True)
+class RoundContext:
+    """What the server offloads to a client at round start (paper §5.1: the
+    latest parameters plus the expected deadline ``T_R``).
+
+    ``deadline`` is expressed in seconds of *local compute time* (measured
+    from the moment the client finishes downloading the model), matching the
+    ``t_{R,τ}`` convention in Eq. 3. ``iterations`` is the default local
+    iteration count K; ``assigned_iterations`` is a server-side override
+    (FedAda's workload adjustment), None for autonomous/default schemes.
+    """
+
+    round_index: int
+    round_start: float
+    iterations: int
+    deadline: float
+    assigned_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        if self.round_start < 0:
+            raise ValueError("round_start must be non-negative")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.assigned_iterations is not None and self.assigned_iterations < 1:
+            raise ValueError("assigned_iterations must be >= 1")
+
+    @property
+    def effective_iterations(self) -> int:
+        return self.assigned_iterations if self.assigned_iterations is not None else self.iterations
+
+
+@dataclass
+class ClientRoundResult:
+    """Everything a client hands back after one round.
+
+    ``update`` is what the *server receives* — for FedCA this merges eagerly
+    transmitted layer values (possibly stale if not retransmitted) with the
+    tail upload; for the baselines it is simply ``local − global``.
+    """
+
+    client_id: int
+    update: dict[str, np.ndarray]
+    num_samples: int
+    iterations_run: int
+    compute_start_time: float
+    compute_finish_time: float
+    upload_finish_time: float
+    bytes_uploaded: int
+    mean_loss: float
+    events: dict[str, Any] = field(default_factory=dict)
+    # Non-trainable state (BatchNorm running statistics) reported alongside
+    # the update; empty for buffer-free models.
+    buffers: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.iterations_run < 0:
+            raise ValueError("iterations_run must be non-negative")
+        if not (
+            self.compute_start_time
+            <= self.compute_finish_time
+            <= self.upload_finish_time
+        ):
+            raise ValueError(
+                "round timeline must satisfy compute_start <= compute_finish <= upload_finish"
+            )
+
+    @property
+    def observed_pace(self) -> float | None:
+        """Mean wall-clock seconds per executed iteration (the pace estimate
+        the server carries into the next round's deadline selection)."""
+        if self.iterations_run == 0:
+            return None
+        return (self.compute_finish_time - self.compute_start_time) / self.iterations_run

@@ -1,0 +1,32 @@
+"""Per-round client selection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["select_clients"]
+
+
+def select_clients(
+    num_clients: int,
+    clients_per_round: int | None,
+    *,
+    round_index: int,
+    seed: int = 0,
+) -> list[int]:
+    """Uniform random selection without replacement.
+
+    ``clients_per_round=None`` selects everyone (the paper's 128-client
+    experiments use full participation with 90 % partial aggregation).
+    Selection randomness is derived from ``(seed, round_index)`` so reruns
+    are reproducible and rounds are independent.
+    """
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    if clients_per_round is None or clients_per_round >= num_clients:
+        return list(range(num_clients))
+    if clients_per_round < 1:
+        raise ValueError("clients_per_round must be >= 1")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, round_index]))
+    picked = rng.choice(num_clients, size=clients_per_round, replace=False)
+    return sorted(int(i) for i in picked)

@@ -1,0 +1,277 @@
+"""Event-ordered federated-learning simulator.
+
+Replaces the paper's EC2 testbed: every round, the server broadcasts the
+global model and the deadline ``T_R``, selected clients execute their local
+rounds (real SGD on their shards, with compute/communication durations drawn
+from the system substrate), the server collects the earliest ``fraction`` of
+uploads and aggregates them, and the simulated clock advances to the arrival
+of the last collected update.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from ..data import Dataset
+from ..nn import Module, accuracy
+from ..sysmodel import DropoutModel, LinkModel, SpeedTrace, select_deadline
+from .aggregation import (
+    aggregate_buffers,
+    aggregate_updates,
+    apply_update,
+    collect_earliest,
+)
+from .client import SimClient
+from .history import RoundRecord, RunHistory
+from .round import RoundContext
+from .selection import select_clients
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..algorithms.base import Strategy
+
+__all__ = ["FederatedSimulator"]
+
+
+class FederatedSimulator:
+    """Drives a complete FL training run under one strategy.
+
+    Parameters
+    ----------
+    model_fn:
+        Zero-argument factory for the workload model. Must be deterministic
+        (seeded) — the server and every client replica call it.
+    strategy:
+        The federated scheme under test.
+    shards:
+        One training :class:`~repro.data.Dataset` per client.
+    test_set:
+        Held-out global evaluation data.
+    base_iteration_times:
+        Per-client fast-mode seconds per local iteration (static
+        heterogeneity).
+    local_iterations:
+        Default K, the per-round local iteration count (paper: 125).
+    aggregation_fraction:
+        The server waits for this fraction of updates, earliest first
+        (paper: 0.9).
+    deadline_min_fraction:
+        Floor on the fraction of clients the FedBalancer-style deadline
+        ``T_R`` must cover; guards against the degenerate pick of the single
+        fastest client's completion time.
+    link_fn:
+        Optional per-client link factory; defaults to the paper's 13.7 Mbps.
+    dynamic:
+        Enable fast/slow toggling on every client.
+    """
+
+    def __init__(
+        self,
+        *,
+        model_fn: Callable[[], Module],
+        strategy: "Strategy",
+        shards: Sequence[Dataset],
+        test_set: Dataset,
+        base_iteration_times: Sequence[float],
+        batch_size: int = 16,
+        local_iterations: int = 25,
+        aggregation_fraction: float = 0.9,
+        deadline_min_fraction: float = 0.5,
+        clients_per_round: int | None = None,
+        link_fn: Callable[[int], LinkModel] | None = None,
+        dynamic: bool = True,
+        gamma_fast: tuple[float, float] | None = None,
+        gamma_slow: tuple[float, float] | None = None,
+        slowdown_range: tuple[float, float] | None = None,
+        dropout_rate: float = 0.0,
+        seed: int = 0,
+        eval_batch: int = 512,
+    ) -> None:
+        if len(shards) != len(base_iteration_times):
+            raise ValueError("need one base iteration time per client shard")
+        if local_iterations < 1:
+            raise ValueError("local_iterations must be >= 1")
+        if not 0 < aggregation_fraction <= 1:
+            raise ValueError("aggregation_fraction must be in (0, 1]")
+        if not 0 <= deadline_min_fraction <= 1:
+            raise ValueError("deadline_min_fraction must be in [0, 1]")
+        self.strategy = strategy
+        self.local_iterations = local_iterations
+        self.aggregation_fraction = aggregation_fraction
+        self.deadline_min_fraction = deadline_min_fraction
+        self.clients_per_round = clients_per_round
+        self.seed = seed
+        self.eval_batch = eval_batch
+        self.test_set = test_set
+
+        self.global_model = model_fn()
+        self.global_state = self.global_model.state_dict()
+        self.global_buffers = self.global_model.buffer_dict()
+
+        link_fn = link_fn or (lambda _cid: LinkModel())
+        ss = np.random.SeedSequence(seed)
+        client_seeds = ss.spawn(len(shards))
+        self.clients: list[SimClient] = []
+        from ..sysmodel.speed import GAMMA_FAST, GAMMA_SLOW, SLOWDOWN_RANGE
+
+        gamma_fast = gamma_fast or GAMMA_FAST
+        gamma_slow = gamma_slow or GAMMA_SLOW
+        slowdown_range = slowdown_range or SLOWDOWN_RANGE
+        for cid, shard in enumerate(shards):
+            child = np.random.default_rng(client_seeds[cid])
+            trace = SpeedTrace(
+                float(base_iteration_times[cid]),
+                seed=int(child.integers(2**31)),
+                dynamic=dynamic,
+                gamma_fast=gamma_fast,
+                gamma_slow=gamma_slow,
+                slowdown_range=slowdown_range,
+            )
+            self.clients.append(
+                SimClient(
+                    cid,
+                    shard,
+                    model_fn=model_fn,
+                    batch_size=batch_size,
+                    trace=trace,
+                    link=link_fn(cid),
+                    seed=int(child.integers(2**31)),
+                )
+            )
+        # Server-side pace estimates (seconds/iteration); bootstrapped from
+        # device-class metadata, refined with each round's observations.
+        self.est_pace: dict[int, float] = {
+            c.client_id: c.trace.base_iteration_time for c in self.clients
+        }
+        self.dropout = DropoutModel(dropout_rate, seed=seed)
+        self.time = 0.0
+        self.history = RunHistory()
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> float:
+        """Global-model top-1 accuracy on the held-out test set."""
+        self.global_model.load_state_dict(self.global_state)
+        if self.global_buffers:
+            self.global_model.load_buffer_dict(self.global_buffers)
+        self.global_model.eval()
+        correct = 0
+        n = len(self.test_set)
+        for start in range(0, n, self.eval_batch):
+            x = self.test_set.x[start : start + self.eval_batch]
+            y = self.test_set.y[start : start + self.eval_batch]
+            logits = self.global_model(x)
+            correct += int((logits.argmax(axis=1) == y).sum())
+        self.global_model.train(True)
+        return correct / n
+
+    # ------------------------------------------------------------------
+    def run_round(self) -> RoundRecord:
+        """Execute one communication round and append it to the history."""
+        round_index = self.history.num_rounds
+        selected = select_clients(
+            len(self.clients),
+            self.clients_per_round,
+            round_index=round_index,
+            seed=self.seed,
+        )
+        # FedBalancer-style compute deadline from current pace estimates.
+        est_compute = [
+            self.local_iterations * self.est_pace[cid] for cid in selected
+        ]
+        deadline = select_deadline(
+            est_compute, min_fraction=self.deadline_min_fraction
+        )
+        budgets = self.strategy.prepare_round(self, selected, deadline, round_index)
+
+        # Failure injection: dropped clients never report back this round
+        # (paper §3.1 — device leaves mid-round). If everyone drops, the
+        # round stalls until the deadline and contributes nothing.
+        dropped = self.dropout.dropped(round_index, selected)
+        survivors = [cid for cid in selected if cid not in dropped]
+        if not survivors:
+            acc = self.evaluate()
+            record = RoundRecord(
+                round_index=round_index,
+                start_time=self.time,
+                end_time=self.time + deadline,
+                accuracy=acc,
+                mean_loss=float("nan"),
+                collected_clients=(),
+                straggler_clients=tuple(selected),
+                mean_iterations=0.0,
+                total_bytes=0,
+                client_events={},
+            )
+            self.history.append(record)
+            self.time = record.end_time
+            return record
+
+        results = []
+        for cid in survivors:
+            ctx = RoundContext(
+                round_index=round_index,
+                round_start=self.time,
+                iterations=self.local_iterations,
+                deadline=deadline,
+                assigned_iterations=None if budgets is None else budgets.get(cid),
+            )
+            client = self.clients[cid]
+            client.stage_buffers(self.global_buffers)
+            results.append(
+                self.strategy.client_round(client, self.global_state, ctx)
+            )
+
+        collected, round_end = collect_earliest(results, self.aggregation_fraction)
+        update = aggregate_updates(collected)
+        self.global_state = apply_update(self.global_state, update)
+        new_buffers = aggregate_buffers(collected)
+        if new_buffers:
+            self.global_buffers = new_buffers
+
+        # Pace estimates refresh from every client that ran, collected or not.
+        for r in results:
+            pace = r.observed_pace
+            if pace is not None:
+                self.est_pace[r.client_id] = pace
+
+        acc = self.evaluate()
+        collected_ids = tuple(r.client_id for r in collected)
+        record = RoundRecord(
+            round_index=round_index,
+            start_time=self.time,
+            end_time=round_end,
+            accuracy=acc,
+            mean_loss=float(np.mean([r.mean_loss for r in collected])),
+            collected_clients=collected_ids,
+            straggler_clients=tuple(
+                [r.client_id for r in results if r.client_id not in collected_ids]
+                + sorted(dropped)
+            ),
+            mean_iterations=float(np.mean([r.iterations_run for r in results])),
+            total_bytes=sum(r.bytes_uploaded for r in results),
+            client_events={r.client_id: r.events for r in results},
+        )
+        self.history.append(record)
+        self.time = round_end
+        return record
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        num_rounds: int,
+        *,
+        target_accuracy: float | None = None,
+        progress: Callable[[RoundRecord], None] | None = None,
+    ) -> RunHistory:
+        """Run up to ``num_rounds`` rounds, stopping early if
+        ``target_accuracy`` is reached."""
+        if num_rounds < 1:
+            raise ValueError("num_rounds must be >= 1")
+        for _ in range(num_rounds):
+            record = self.run_round()
+            if progress is not None:
+                progress(record)
+            if target_accuracy is not None and record.accuracy >= target_accuracy:
+                break
+        return self.history

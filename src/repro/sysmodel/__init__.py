@@ -1,0 +1,27 @@
+"""``repro.sysmodel`` — simulated-time device, dynamics and network models.
+
+Replaces the paper's 128-node EC2 cluster: static heterogeneity comes from a
+FedScale-like speed distribution, dynamicity from Γ-distributed fast/slow
+toggling, and communication from a per-client bottleneck-uplink model.
+"""
+
+from .availability import DropoutModel
+from .deadline import select_deadline
+from .heterogeneity import base_iteration_times, sample_speed_ratios
+from .network import DEFAULT_CLIENT_MBPS, LinkModel, Transmission, UplinkScheduler
+from .speed import GAMMA_FAST, GAMMA_SLOW, SLOWDOWN_RANGE, SpeedTrace
+
+__all__ = [
+    "DropoutModel",
+    "SpeedTrace",
+    "GAMMA_FAST",
+    "GAMMA_SLOW",
+    "SLOWDOWN_RANGE",
+    "sample_speed_ratios",
+    "base_iteration_times",
+    "LinkModel",
+    "UplinkScheduler",
+    "Transmission",
+    "DEFAULT_CLIENT_MBPS",
+    "select_deadline",
+]

@@ -1,0 +1,61 @@
+"""Static cross-client heterogeneity (FedScale-like device speeds).
+
+The paper maps each EC2 client to a device in the FedScale trace so that the
+*ratio between any two clients' average speeds* resembles real mobile
+hardware. The FedScale compute-speed distribution is heavy-tailed and spans
+roughly an order of magnitude between fast and slow devices; we substitute a
+truncated log-normal with matching spread, which preserves exactly the
+property the experiments need — a stable population of persistent stragglers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_speed_ratios", "base_iteration_times"]
+
+
+def sample_speed_ratios(
+    num_clients: int,
+    *,
+    sigma: float = 0.6,
+    max_ratio: float = 10.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-client relative slowness factors, normalised so the fastest ≈ 1.
+
+    Returns an array ``r`` with ``r.min() == 1`` and ``r.max() <= max_ratio``;
+    client ``i`` needs ``r[i]`` times longer than the fastest client for the
+    same iteration.
+    """
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if max_ratio < 1:
+        raise ValueError("max_ratio must be >= 1")
+    rng = np.random.default_rng(seed)
+    raw = rng.lognormal(mean=0.0, sigma=sigma, size=num_clients)
+    ratios = raw / raw.min()
+    return np.minimum(ratios, max_ratio)
+
+
+def base_iteration_times(
+    num_clients: int,
+    fastest_iteration_time: float,
+    *,
+    sigma: float = 0.6,
+    max_ratio: float = 10.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Seconds-per-iteration for each client at full speed.
+
+    ``fastest_iteration_time`` is workload-dependent (bigger models cost
+    more per iteration); heterogeneity scales it per client.
+    """
+    if fastest_iteration_time <= 0:
+        raise ValueError("fastest_iteration_time must be positive")
+    ratios = sample_speed_ratios(
+        num_clients, sigma=sigma, max_ratio=max_ratio, seed=seed
+    )
+    return fastest_iteration_time * ratios

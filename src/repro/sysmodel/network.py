@@ -1,0 +1,94 @@
+"""Per-client link model with overlap-aware upload scheduling.
+
+The paper shapes every client's link to 13.7 Mbps (FedScale's average mobile
+bandwidth) and gives the server a 10 Gbps link, so the client uplink is the
+communication bottleneck. FedCA's eager transmission wins time by pushing
+early-converged layers through that uplink *while the remaining layers are
+still computing* (Fig. 6); what matters for round time is therefore the
+serialisation of transfers on the single client uplink, which
+:class:`UplinkScheduler` models exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LinkModel", "UplinkScheduler", "Transmission", "DEFAULT_CLIENT_MBPS"]
+
+DEFAULT_CLIENT_MBPS = 13.7  # paper §5.1, FedScale average
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Static link capacities for one client.
+
+    ``uplink_mbps``/``downlink_mbps`` are megabits per second. Transfer
+    latency for ``n`` bytes is ``8 n / (mbps · 1e6)`` seconds plus a fixed
+    per-message RPC overhead (RPyC marshalling in the paper's testbed).
+    """
+
+    uplink_mbps: float = DEFAULT_CLIENT_MBPS
+    downlink_mbps: float = DEFAULT_CLIENT_MBPS
+    rpc_overhead_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.uplink_mbps <= 0 or self.downlink_mbps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.rpc_overhead_s < 0:
+            raise ValueError("rpc overhead must be non-negative")
+
+    def upload_seconds(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.rpc_overhead_s + 8.0 * nbytes / (self.uplink_mbps * 1e6)
+
+    def download_seconds(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.rpc_overhead_s + 8.0 * nbytes / (self.downlink_mbps * 1e6)
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """Record of one upload scheduled on a client uplink."""
+
+    label: str
+    nbytes: int
+    submit_time: float
+    start_time: float
+    finish_time: float
+
+
+@dataclass
+class UplinkScheduler:
+    """FIFO serialisation of uploads on a single client uplink.
+
+    Eager per-layer transmissions and the end-of-round tail upload all go
+    through :meth:`submit`; a transfer starts at ``max(submit, busy_until)``
+    so overlapping requests queue rather than magically parallelise.
+    """
+
+    link: LinkModel
+    busy_until: float = 0.0
+    log: list[Transmission] = field(default_factory=list)
+
+    def submit(self, submit_time: float, nbytes: int, label: str = "") -> Transmission:
+        if submit_time < 0:
+            raise ValueError("submit_time must be non-negative")
+        start = max(submit_time, self.busy_until)
+        finish = start + self.link.upload_seconds(nbytes)
+        self.busy_until = finish
+        tx = Transmission(label, nbytes, submit_time, start, finish)
+        self.log.append(tx)
+        return tx
+
+    def reset(self, t: float = 0.0) -> None:
+        """Clear the queue at the start of a round."""
+        self.busy_until = t
+        self.log.clear()
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(tx.nbytes for tx in self.log)

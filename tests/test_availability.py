@@ -1,0 +1,112 @@
+"""Tests for client drop-out failure injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedAvg, OptimizerSpec, build_strategy
+from repro.data import dirichlet_partition, make_workload_data
+from repro.nn import LeNetCNN
+from repro.runtime import FederatedSimulator
+from repro.sysmodel import DropoutModel
+
+OPT = OptimizerSpec(lr=0.05, weight_decay=0.01)
+
+
+class TestDropoutModel:
+    def test_zero_rate_drops_nobody(self):
+        m = DropoutModel(0.0)
+        assert m.dropped(0, [1, 2, 3]) == set()
+
+    def test_deterministic_per_round(self):
+        m = DropoutModel(0.5, seed=3)
+        assert m.dropped(4, [0, 1, 2, 3]) == m.dropped(4, [0, 1, 2, 3])
+
+    def test_varies_across_rounds(self):
+        m = DropoutModel(0.5, seed=3)
+        sets = {frozenset(m.dropped(r, list(range(10)))) for r in range(10)}
+        assert len(sets) > 1
+
+    def test_rate_controls_volume(self):
+        low = DropoutModel(0.05, seed=1)
+        high = DropoutModel(0.6, seed=1)
+        ids = list(range(200))
+        assert len(low.dropped(0, ids)) < len(high.dropped(0, ids))
+
+    def test_empty_ids(self):
+        assert DropoutModel(0.5).dropped(0, []) == set()
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            DropoutModel(-0.1)
+        with pytest.raises(ValueError):
+            DropoutModel(1.0)
+
+
+def make_sim(dropout_rate, *, num_clients=5, seed=0, scheme="fedavg"):
+    train, test = make_workload_data("cnn", num_samples=400, seed=3)
+    parts = dirichlet_partition(train, num_clients, alpha=1.0, seed=4, min_samples=8)
+    return FederatedSimulator(
+        model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+        strategy=build_strategy(scheme, OPT),
+        shards=[train.subset(p) for p in parts],
+        test_set=test,
+        base_iteration_times=[0.01] * num_clients,
+        batch_size=8,
+        local_iterations=5,
+        dynamic=False,
+        dropout_rate=dropout_rate,
+        seed=seed,
+    )
+
+
+class TestSimulatorDropouts:
+    def test_dropped_clients_recorded_as_stragglers(self):
+        sim = make_sim(0.4, seed=2)
+        hist = sim.run(5)
+        reported = sum(
+            len(r.collected_clients) + len(r.straggler_clients)
+            for r in hist.records
+        )
+        assert reported == 5 * 5  # every selected client accounted for
+        assert any(r.straggler_clients for r in hist.records)
+
+    def test_training_survives_dropouts(self):
+        sim = make_sim(0.3, seed=1)
+        hist = sim.run(10)
+        assert hist.best_accuracy() > 0.2
+
+    def test_all_dropped_round_is_empty_but_clock_advances(self):
+        sim = make_sim(0.0, seed=0)
+        # Force a full drop by swapping in an always-drop model.
+        class AlwaysDrop(DropoutModel):
+            def dropped(self, round_index, client_ids):
+                return set(client_ids)
+
+        sim.dropout = AlwaysDrop(0.5)
+        t0 = sim.time
+        rec = sim.run_round()
+        assert rec.collected_clients == ()
+        assert len(rec.straggler_clients) == 5
+        assert rec.end_time > t0
+        assert rec.total_bytes == 0
+
+    def test_global_model_unchanged_on_empty_round(self):
+        sim = make_sim(0.0, seed=0)
+
+        class AlwaysDrop(DropoutModel):
+            def dropped(self, round_index, client_ids):
+                return set(client_ids)
+
+        sim.dropout = AlwaysDrop(0.5)
+        before = {k: v.copy() for k, v in sim.global_state.items()}
+        sim.run_round()
+        for k in before:
+            np.testing.assert_array_equal(before[k], sim.global_state[k])
+
+    def test_fedca_tolerates_dropouts(self):
+        sim = make_sim(0.3, seed=5, scheme="fedca")
+        hist = sim.run(8)
+        assert hist.num_rounds == 8
+        assert hist.best_accuracy() > 0.1

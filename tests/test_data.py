@@ -1,0 +1,222 @@
+"""Tests for synthetic datasets, partitioning and batch streaming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchStream,
+    Dataset,
+    dirichlet_partition,
+    iid_partition,
+    make_image_dataset,
+    make_sequence_dataset,
+    make_workload_data,
+    train_test_split,
+)
+
+
+class TestDataset:
+    def test_length_and_subset(self):
+        ds = Dataset(np.zeros((10, 3)), np.arange(10) % 2, num_classes=2)
+        assert len(ds) == 10
+        sub = ds.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((10, 3)), np.zeros(5, dtype=np.int64), num_classes=2)
+
+    def test_labels_out_of_range_raise(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.array([0, 1, 5]), num_classes=2)
+
+
+class TestImageDataset:
+    def test_shapes_and_dtype(self):
+        ds = make_image_dataset(num_samples=100, num_classes=10, channels=3,
+                                image_size=12, seed=0)
+        assert ds.x.shape == (100, 3, 12, 12)
+        assert ds.x.dtype == np.float32
+        assert ds.y.shape == (100,)
+
+    def test_balanced_classes(self):
+        ds = make_image_dataset(num_samples=100, num_classes=10, seed=0)
+        counts = np.bincount(ds.y, minlength=10)
+        assert counts.min() == counts.max() == 10
+
+    def test_deterministic(self):
+        a = make_image_dataset(num_samples=20, seed=5)
+        b = make_image_dataset(num_samples=20, seed=5)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = make_image_dataset(num_samples=20, seed=5)
+        b = make_image_dataset(num_samples=20, seed=6)
+        assert not np.allclose(a.x, b.x)
+
+    def test_class_signal_exists(self):
+        # Same-class samples must be more similar than cross-class samples.
+        ds = make_image_dataset(num_samples=400, num_classes=4, noise=0.5, seed=1)
+        means = [ds.x[ds.y == c].mean(axis=0).ravel() for c in range(4)]
+        within = np.linalg.norm(ds.x[ds.y == 0][0].ravel() - means[0])
+        across = min(np.linalg.norm(ds.x[ds.y == 0][0].ravel() - means[c]) for c in range(1, 4))
+        assert within < across
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            make_image_dataset(num_samples=5, num_classes=10)
+
+
+class TestSequenceDataset:
+    def test_shapes(self):
+        ds = make_sequence_dataset(num_samples=50, seq_len=12, channels=6, seed=0)
+        assert ds.x.shape == (50, 12, 6)
+
+    def test_max_shift_validation(self):
+        with pytest.raises(ValueError):
+            make_sequence_dataset(num_samples=50, seq_len=10, max_shift=10)
+
+    def test_shift_changes_data(self):
+        a = make_sequence_dataset(num_samples=50, seed=3, max_shift=0)
+        b = make_sequence_dataset(num_samples=50, seed=3, max_shift=5)
+        assert not np.allclose(a.x, b.x)
+
+
+class TestDirichletPartition:
+    def _ds(self, n=400, classes=10):
+        return make_image_dataset(num_samples=n, num_classes=classes, seed=2)
+
+    def test_partition_is_disjoint_and_complete(self):
+        ds = self._ds()
+        parts = dirichlet_partition(ds, 8, alpha=0.5, seed=0)
+        allidx = np.concatenate(parts)
+        assert len(allidx) == len(ds)
+        assert len(np.unique(allidx)) == len(ds)
+
+    def test_min_samples_respected(self):
+        ds = self._ds()
+        parts = dirichlet_partition(ds, 8, alpha=0.1, min_samples=5, seed=0)
+        assert min(p.size for p in parts) >= 5
+
+    def test_low_alpha_is_more_skewed(self):
+        ds = self._ds(n=2000)
+
+        def skew(alpha):
+            parts = dirichlet_partition(ds, 10, alpha=alpha, seed=1)
+            # Mean per-client label entropy: lower = more skewed.
+            ents = []
+            for p in parts:
+                counts = np.bincount(ds.y[p], minlength=10) + 1e-9
+                probs = counts / counts.sum()
+                ents.append(-(probs * np.log(probs)).sum())
+            return np.mean(ents)
+
+        assert skew(0.1) < skew(10.0)
+
+    def test_deterministic(self):
+        ds = self._ds()
+        a = dirichlet_partition(ds, 5, seed=7)
+        b = dirichlet_partition(ds, 5, seed=7)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_validation(self):
+        ds = self._ds(n=20)
+        with pytest.raises(ValueError):
+            dirichlet_partition(ds, 0)
+        with pytest.raises(ValueError):
+            dirichlet_partition(ds, 4, alpha=0.0)
+        with pytest.raises(ValueError):
+            dirichlet_partition(ds, 15, min_samples=2)
+
+    def test_iid_partition_even(self):
+        ds = self._ds(n=100)
+        parts = iid_partition(ds, 4, seed=0)
+        assert sorted(p.size for p in parts) == [25, 25, 25, 25]
+        assert len(np.unique(np.concatenate(parts))) == 100
+
+
+class TestTrainTestSplit:
+    def test_disjoint_and_sized(self):
+        ds = make_image_dataset(num_samples=100, seed=0)
+        train, test = train_test_split(ds, test_fraction=0.2, seed=1)
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_validation(self):
+        ds = make_image_dataset(num_samples=100, seed=0)
+        with pytest.raises(ValueError):
+            train_test_split(ds, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(ds, test_fraction=1.0)
+
+    def test_workload_registry(self):
+        for name in ("cnn", "lstm", "wrn"):
+            train, test = make_workload_data(name, num_samples=200, seed=0)
+            assert len(train) + len(test) == 200
+        with pytest.raises(ValueError):
+            make_workload_data("mlp")
+
+    def test_workload_train_test_share_concepts(self):
+        # A nearest-class-mean classifier fit on train must beat chance on
+        # test — the regression guard for the shared-prototype requirement.
+        train, test = make_workload_data("cnn", num_samples=600, seed=0)
+        means = np.stack([
+            train.x[train.y == c].mean(axis=0).ravel()
+            for c in range(train.num_classes)
+        ])
+        preds = [
+            int(np.argmin(((means - x.ravel()) ** 2).sum(axis=1))) for x in test.x
+        ]
+        acc = float(np.mean(np.array(preds) == test.y))
+        assert acc > 0.3  # chance = 0.1
+
+
+class TestBatchStream:
+    def _ds(self, n=10):
+        return Dataset(
+            np.arange(n, dtype=np.float32).reshape(n, 1), np.zeros(n, dtype=np.int64), 1
+        )
+
+    def test_batch_shape(self):
+        s = BatchStream(self._ds(), 4, seed=0)
+        x, y = s.next_batch()
+        assert x.shape == (4, 1)
+        assert y.shape == (4,)
+
+    def test_epoch_covers_all_samples(self):
+        s = BatchStream(self._ds(10), 5, seed=0)
+        seen = np.concatenate([s.next_batch()[0].ravel() for _ in range(2)])
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_wraparound_reshuffles(self):
+        s = BatchStream(self._ds(6), 4, seed=0)
+        batches = [s.next_batch()[0].ravel() for _ in range(6)]
+        flat = np.concatenate(batches)
+        # Every 3 batches (2 epochs of 6 samples in 24 draws) covers each
+        # sample equally often in expectation; just check no crash and all
+        # values valid.
+        assert set(flat.tolist()) <= set(range(6))
+
+    def test_batch_larger_than_shard_clamped(self):
+        s = BatchStream(self._ds(3), 10, seed=0)
+        x, _ = s.next_batch()
+        assert x.shape[0] == 3
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            BatchStream(Dataset(np.zeros((0, 1)), np.zeros(0, dtype=np.int64), 1), 2)
+
+    def test_deterministic_by_seed(self):
+        a = BatchStream(self._ds(), 4, seed=9)
+        b = BatchStream(self._ds(), 4, seed=9)
+        np.testing.assert_array_equal(a.next_batch()[0], b.next_batch()[0])
+
+    def test_iterator_protocol(self):
+        s = BatchStream(self._ds(), 4, seed=0)
+        it = iter(s)
+        x, y = next(it)
+        assert x.shape == (4, 1)

@@ -1,0 +1,142 @@
+"""Fast sanity tests for the figure experiment modules (tiny settings).
+
+The benchmarks run these at meaningful scale with shape assertions; here we
+only verify the plumbing — outputs have the right structure and the
+formatters render — at the smallest possible configuration.
+"""
+
+from __future__ import annotations
+
+import py_compile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.experiments as ex
+
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+class TestFigureModules:
+    def test_fig2_structure(self):
+        data = ex.run_fig2(models=("cnn",), early_round=0, late_round=1, seed=0)
+        assert set(data) == {"cnn"}
+        assert set(data["cnn"]) == {"early", "late"}
+        for stage in data["cnn"].values():
+            for curve in stage.values():
+                assert curve.shape[0] > 0
+                np.testing.assert_allclose(curve[-1], 1.0, rtol=1e-6)
+        text = ex.format_fig2(data)
+        assert "Fig. 2" in text and "client-0" in text
+
+    def test_fig3_structure_and_layers(self):
+        data = ex.run_fig3(models=("cnn",), early_round=0, late_round=1, seed=0)
+        assert set(data["cnn"]["early"]) == {"fc2.weight", "conv2.weight"}
+        assert "fc2.weight" in ex.format_fig3(data)
+
+    def test_fig3_unknown_layer_raises(self):
+        with pytest.raises(KeyError):
+            ex.run_fig3(
+                models=("cnn",),
+                early_round=0,
+                late_round=1,
+                layers={"cnn": ("nope.weight", "fc2.weight")},
+            )
+
+    def test_fig4_structure(self):
+        data = ex.run_fig4(model="cnn", early_start=0, late_start=2, window=2, seed=0)
+        assert set(data["early"]) == {0, 1}
+        assert set(data["late"]) == {2, 3}
+        dev = ex.curve_window_deviation(list(data["early"].values()))
+        assert 0.0 <= dev <= 2.0
+        assert "Fig. 4" in ex.format_fig4(data)
+
+    def test_curve_window_deviation_validation(self):
+        with pytest.raises(ValueError):
+            ex.curve_window_deviation([np.zeros(3)])
+
+    def test_fig5_structure(self):
+        data = ex.run_fig5(models=("cnn",), early_round=0, late_round=1, seed=0)
+        entry = data["cnn"]["early"]
+        assert entry["full"].shape == entry["sampled"].shape
+        assert entry["max_gap"] >= 0.0
+        assert "sampled" in ex.format_fig5(data)
+
+    def test_fig8_structure(self):
+        data = ex.run_fig8(model="cnn", rounds=3, seed=0)
+        assert data["local_iterations"] > 0
+        assert isinstance(data["fedca_early_stops"], list)
+        assert len(data["eager_raw"]) == len(data["eager_effective"])
+        assert "Fig. 8" in ex.format_fig8(data)
+
+    def test_table1_and_fig7_formatting(self):
+        data = ex.run_table1(models=("cnn",), schemes=("fedavg",), rounds=2, seed=0)
+        t1 = ex.format_table1(data)
+        assert "Per-round Time" in t1
+        f7 = ex.format_fig7(data)
+        assert "cnn/FedAvg" in f7
+
+    def test_fig9_structure(self):
+        data = ex.run_fig9(models=("cnn",), rounds=3, seed=0)
+        names = [r.scheme for r in data["cnn"]]
+        assert names == ["FedAvg", "FedCA-v1", "FedCA-v2", "FedCA-v3"]
+        assert "ablation" in ex.format_fig9(data)
+
+    def test_fig10_structure(self):
+        data = ex.run_fig10(model="cnn", rounds=3, seed=0)
+        assert set(data["beta"]) == set(ex.BETAS)
+        assert set(data["thresholds"]) == set(ex.THRESHOLD_COMBOS)
+        assert "sensitivity" in ex.format_fig10(data)
+
+
+class TestExamplesCompile:
+    """Every example must at least be valid Python (full runs are minutes)."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "progress_anatomy.py",
+            "eager_timeline.py",
+            "straggler_rescue.py",
+            "communication_codecs.py",
+            "profiling_deep_dive.py",
+            "reproduce_paper.py",
+        ],
+    )
+    def test_compiles(self, name):
+        path = Path(__file__).resolve().parents[1] / "examples" / name
+        assert path.exists(), f"missing example {name}"
+        py_compile.compile(str(path), doraise=True)
+
+
+class TestFig1AndFig6:
+    def test_toy_walk_properties(self):
+        mags, curve = ex.toy_progress_walk(iterations=7, seed=0)
+        assert len(mags) == len(curve) == 7
+        assert curve[-1] == pytest.approx(1.0)
+        assert np.all(curve <= 1.0 + 1e-9)
+        # Early iterations already capture most of the round.
+        assert curve[2] > 0.6
+
+    def test_toy_walk_validation(self):
+        with pytest.raises(ValueError):
+            ex.toy_progress_walk(iterations=1)
+
+    def test_fig1_structure(self):
+        data = ex.run_fig1(model="cnn", warmup_rounds=1, seed=0)
+        assert data["real_curve"][-1] == pytest.approx(1.0)
+        text = ex.format_fig1(data)
+        assert "toy/P_i" in text and "real-round" in text
+
+    def test_fig6_structure(self):
+        data = ex.run_fig6(model="cnn", seed=0)
+        assert data["overlap_finish"] >= data["compute_end"]
+        assert data["single_upload_finish"] >= data["compute_end"]
+        # Overlap can only help (or tie) versus the single tail upload.
+        assert data["saving"] >= -1e-9
+        text = ex.format_fig6(data)
+        assert "eager-transmission timeline" in text
+        assert "saving" in text

@@ -1,0 +1,261 @@
+"""Integration tests: full federated runs under every scheme on a tiny
+environment, plus FedCA end-to-end invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedAvg, FedCA, OptimizerSpec, build_strategy
+from repro.core import FedCAConfig
+from repro.data import dirichlet_partition, make_workload_data
+from repro.nn import LeNetCNN
+from repro.runtime import FederatedSimulator
+from repro.sysmodel import LinkModel
+
+OPT = OptimizerSpec(lr=0.05, weight_decay=0.01)
+NUM_CLIENTS = 4
+ITERS = 8
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    train, test = make_workload_data("cnn", num_samples=400, seed=3)
+    parts = dirichlet_partition(train, NUM_CLIENTS, alpha=0.5, seed=4, min_samples=8)
+    return [train.subset(p) for p in parts], test
+
+
+def make_sim(tiny_data, strategy, *, dynamic=True, seed=0, **kwargs):
+    shards, test = tiny_data
+    defaults = dict(
+        model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+        strategy=strategy,
+        shards=shards,
+        test_set=test,
+        base_iteration_times=[0.01, 0.015, 0.02, 0.03],
+        batch_size=8,
+        local_iterations=ITERS,
+        aggregation_fraction=1.0,
+        deadline_min_fraction=0.75,
+        link_fn=lambda cid: LinkModel(uplink_mbps=2.0, downlink_mbps=2.0),
+        dynamic=dynamic,
+        # Fast/slow toggling at sub-second periods so dynamics actually engage
+        # within these tiny test rounds — but mostly-fast with mild slowdowns,
+        # otherwise the pace-estimate-based deadline is so noisy that FedCA
+        # legitimately halves every client's workload and learning stalls.
+        gamma_fast=(2.0, 1.0),
+        gamma_slow=(2.0, 0.2),
+        slowdown_range=(1.5, 3.0),
+        seed=seed,
+    )
+    defaults.update(kwargs)
+    return FederatedSimulator(**defaults)
+
+
+class TestEverySchemeLearns:
+    @pytest.mark.parametrize(
+        "scheme", ["fedavg", "fedprox", "fedada", "fedca", "fedca-v1", "fedca-v2"]
+    )
+    def test_accuracy_improves(self, tiny_data, scheme):
+        # Workload-trimming schemes (FedAda/FedCA) legitimately learn slower
+        # in this 4-client toy: the one slow client's classes arrive late.
+        # The test only asserts sustained learning, not parity. FedCA gets a
+        # short profiling period — this 12-round run is far shorter than the
+        # paper's 200+, and the round-0 curves (profiled before any learning)
+        # misguide early stopping if kept for 10 rounds.
+        fedca_cfg = FedCAConfig.v1(profile_every=3) if scheme == "fedca-v1" else (
+            FedCAConfig.v2(profile_every=3) if scheme == "fedca-v2" else
+            FedCAConfig(profile_every=3)
+        )
+        strategy = build_strategy(scheme, OPT, fedca_config=fedca_cfg)
+        sim = make_sim(tiny_data, strategy, seed=1)
+        start_acc = sim.evaluate()
+        hist = sim.run(12)
+        assert hist.best_accuracy() > start_acc + 0.1
+
+    def test_histories_are_complete(self, tiny_data):
+        sim = make_sim(tiny_data, build_strategy("fedavg", OPT))
+        hist = sim.run(3)
+        assert hist.num_rounds == 3
+        for i, rec in enumerate(hist.records):
+            assert rec.round_index == i
+            assert rec.end_time > rec.start_time
+            assert len(rec.collected_clients) == NUM_CLIENTS  # fraction 1.0
+            assert rec.total_bytes > 0
+
+    def test_target_accuracy_stops_early(self, tiny_data):
+        sim = make_sim(tiny_data, build_strategy("fedavg", OPT), seed=1)
+        hist = sim.run(50, target_accuracy=0.3)
+        assert hist.num_rounds < 50
+        assert hist.final_accuracy >= 0.3
+
+
+class TestSimulatedTime:
+    def test_clock_advances_monotonically(self, tiny_data):
+        sim = make_sim(tiny_data, build_strategy("fedavg", OPT))
+        hist = sim.run(4)
+        ends = [r.end_time for r in hist.records]
+        assert all(b > a for a, b in zip(ends, ends[1:]))
+
+    def test_rounds_start_where_previous_ended(self, tiny_data):
+        sim = make_sim(tiny_data, build_strategy("fedavg", OPT))
+        hist = sim.run(3)
+        for prev, cur in zip(hist.records, hist.records[1:]):
+            assert cur.start_time == pytest.approx(prev.end_time)
+
+    def test_static_round_time_matches_cost_model(self, tiny_data):
+        shards, test = tiny_data
+        sim = make_sim(tiny_data, build_strategy("fedavg", OPT), dynamic=False)
+        rec = sim.run_round()
+        # Slowest client: 0.03 s/iter * 8 iters; plus download+upload of the
+        # model on a 2 Mbps link with 5 ms RPC overhead each way.
+        model_bytes = sim.clients[0].model_bytes
+        link = sim.clients[0].link
+        expected = link.download_seconds(model_bytes) + 0.03 * ITERS + link.upload_seconds(model_bytes)
+        assert rec.duration == pytest.approx(expected, rel=1e-6)
+
+    def test_partial_aggregation_discards_slowest(self, tiny_data):
+        sim = make_sim(
+            tiny_data, build_strategy("fedavg", OPT),
+            aggregation_fraction=0.75, dynamic=False,
+        )
+        rec = sim.run_round()
+        assert len(rec.collected_clients) == 3
+        assert rec.straggler_clients == (3,)  # client 3 is 3x slower
+
+    def test_pace_estimates_update(self, tiny_data):
+        sim = make_sim(tiny_data, build_strategy("fedavg", OPT), dynamic=False)
+        sim.run_round()
+        assert sim.est_pace[3] == pytest.approx(0.03, rel=1e-6)
+
+
+class TestFedCAIntegration:
+    def test_anchor_schedule(self, tiny_data):
+        cfg = FedCAConfig(profile_every=3)
+        sim = make_sim(tiny_data, FedCA(OPT, config=cfg))
+        hist = sim.run(7)
+        for rec in hist.records:
+            anchors = {ev["anchor"] for ev in rec.client_events.values()}
+            assert anchors == {rec.round_index % 3 == 0}
+
+    def test_anchor_round_equals_fedavg_statistically(self, tiny_data):
+        """In an anchor round FedCA must produce exactly the updates FedAvg
+        would — profiling is observation-only."""
+        shards, test = tiny_data
+        sim_a = make_sim(tiny_data, build_strategy("fedavg", OPT), seed=11)
+        sim_b = make_sim(tiny_data, build_strategy("fedca", OPT), seed=11)
+        rec_a = sim_a.run_round()
+        rec_b = sim_b.run_round()
+        assert rec_a.accuracy == pytest.approx(rec_b.accuracy)
+        np.testing.assert_allclose(
+            sim_a.global_state["conv1.weight"],
+            sim_b.global_state["conv1.weight"],
+            rtol=1e-5,
+        )
+
+    def test_curves_refreshed_at_each_anchor(self, tiny_data):
+        cfg = FedCAConfig(profile_every=2)
+        strat = FedCA(OPT, config=cfg)
+        sim = make_sim(tiny_data, strat)
+        sim.run(2)
+        first = strat.curves_for(0)
+        sim.run_round()  # round 2 = anchor again
+        second = strat.curves_for(0)
+        assert second.round_index > first.round_index
+
+    def test_eager_bytes_accounted(self, tiny_data):
+        cfg = FedCAConfig(eager_threshold=0.5, profile_every=10)
+        sim = make_sim(tiny_data, FedCA(OPT, config=cfg))
+        sim.run_round()  # anchor
+        rec = sim.run_round()
+        # Each client uploads at least the full model's bytes per round
+        # (eager + tail >= full model; retransmissions add more).
+        per_client = rec.total_bytes / NUM_CLIENTS
+        assert per_client >= sim.clients[0].model_bytes
+
+    def test_fedca_accuracy_comparable_to_fedavg(self, tiny_data):
+        hist_avg = make_sim(tiny_data, build_strategy("fedavg", OPT), seed=2).run(10)
+        hist_ca = make_sim(tiny_data, build_strategy("fedca", OPT), seed=2).run(10)
+        assert hist_ca.best_accuracy() >= hist_avg.best_accuracy() - 0.15
+
+
+class TestFailureModes:
+    def test_single_client_environment(self, tiny_data):
+        shards, test = tiny_data
+        sim = FederatedSimulator(
+            model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+            strategy=build_strategy("fedca", OPT),
+            shards=shards[:1],
+            test_set=test,
+            base_iteration_times=[0.01],
+            batch_size=8,
+            local_iterations=4,
+            seed=0,
+        )
+        hist = sim.run(3)
+        assert hist.num_rounds == 3
+
+    def test_client_subset_selection(self, tiny_data):
+        sim = make_sim(
+            tiny_data, build_strategy("fedavg", OPT), clients_per_round=2
+        )
+        rec = sim.run_round()
+        assert len(rec.collected_clients) + len(rec.straggler_clients) == 2
+
+    def test_fedca_with_selection_profiles_new_clients(self, tiny_data):
+        strat = build_strategy("fedca", OPT)
+        sim = make_sim(tiny_data, strat, clients_per_round=2)
+        hist = sim.run(4)
+        # Every selected client must have been anchored before optimising.
+        for rec in hist.records:
+            for cid, ev in rec.client_events.items():
+                if not ev["anchor"]:
+                    assert strat.curves_for(cid) is not None
+
+    def test_mismatched_shards_and_speeds(self, tiny_data):
+        shards, test = tiny_data
+        with pytest.raises(ValueError):
+            FederatedSimulator(
+                model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+                strategy=FedAvg(OPT),
+                shards=shards,
+                test_set=test,
+                base_iteration_times=[0.01],
+                local_iterations=4,
+            )
+
+    def test_invalid_simulator_params(self, tiny_data):
+        shards, test = tiny_data
+        common = dict(
+            model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+            strategy=FedAvg(OPT),
+            shards=shards,
+            test_set=test,
+            base_iteration_times=[0.01] * NUM_CLIENTS,
+        )
+        with pytest.raises(ValueError):
+            FederatedSimulator(**common, local_iterations=0)
+        with pytest.raises(ValueError):
+            FederatedSimulator(**common, aggregation_fraction=0.0)
+        with pytest.raises(ValueError):
+            FederatedSimulator(**common, deadline_min_fraction=2.0)
+
+    def test_run_requires_positive_rounds(self, tiny_data):
+        sim = make_sim(tiny_data, build_strategy("fedavg", OPT))
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    def test_determinism_same_seed(self, tiny_data):
+        h1 = make_sim(tiny_data, build_strategy("fedca", OPT), seed=5).run(3)
+        h2 = make_sim(tiny_data, build_strategy("fedca", OPT), seed=5).run(3)
+        assert [r.accuracy for r in h1.records] == [r.accuracy for r in h2.records]
+        assert [r.end_time for r in h1.records] == [r.end_time for r in h2.records]
+
+    def test_different_seeds_differ(self, tiny_data):
+        h1 = make_sim(tiny_data, build_strategy("fedavg", OPT), seed=5).run(3)
+        h2 = make_sim(tiny_data, build_strategy("fedavg", OPT), seed=6).run(3)
+        differs = (
+            [r.end_time for r in h1.records] != [r.end_time for r in h2.records]
+            or [r.accuracy for r in h1.records] != [r.accuracy for r in h2.records]
+        )
+        assert differs

@@ -1,0 +1,98 @@
+"""Tests for the stateless numerical kernels in repro.nn.functional."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(3)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(F.relu(x), [0.0, 0.0, 3.0])
+
+    def test_relu_grad_masks(self):
+        x = np.array([-1.0, 2.0])
+        g = np.array([5.0, 5.0])
+        np.testing.assert_array_equal(F.relu_grad(x, g), [0.0, 5.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = RNG.normal(size=100) * 10
+        s = F.sigmoid(x)
+        assert np.all((s > 0) & (s < 1))
+        np.testing.assert_allclose(F.sigmoid(-x), 1 - s, rtol=1e-5, atol=1e-7)
+
+    def test_sigmoid_extreme_values_no_overflow(self):
+        x = np.array([-500.0, 500.0], dtype=np.float32)
+        s = F.sigmoid(x)
+        assert np.all(np.isfinite(s))
+        assert s[0] < 1e-30 and s[1] > 1 - 1e-7
+
+    def test_sigmoid_at_zero(self):
+        assert F.sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = RNG.normal(size=(5, 7))
+        np.testing.assert_allclose(F.softmax(x).sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_shift_invariance(self):
+        x = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0), rtol=1e-5)
+
+    def test_log_softmax_consistent(self):
+        x = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            F.log_softmax(x), np.log(F.softmax(x)), rtol=1e-5, atol=1e-7
+        )
+
+    def test_extreme_logits_finite(self):
+        x = np.array([[1000.0, -1000.0]])
+        assert np.all(np.isfinite(F.log_softmax(x)))
+
+
+class TestIm2Col:
+    def test_geometry(self):
+        k, i, j, oh, ow = F.im2col_indices(3, 8, 8, 3, 3, 1, 1)
+        assert (oh, ow) == (8, 8)
+        assert k.shape == (3 * 9, 1)
+        assert i.shape == (27, 64)
+
+    def test_stride_geometry(self):
+        _, _, _, oh, ow = F.im2col_indices(1, 8, 8, 3, 3, 2, 1)
+        assert (oh, ow) == (4, 4)
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError):
+            F.im2col_indices(1, 2, 2, 5, 5, 1, 0)
+
+    def test_im2col_extracts_patches(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        idx = F.im2col_indices(1, 4, 4, 2, 2, 1, 0)
+        cols = F.im2col(x, idx, 0)
+        # First column is the top-left 2x2 patch.
+        np.testing.assert_array_equal(cols[0, :, 0], [0, 1, 4, 5])
+        # Last column is the bottom-right patch.
+        np.testing.assert_array_equal(cols[0, :, -1], [10, 11, 14, 15])
+
+    def test_col2im_accumulates_overlaps(self):
+        # All-ones columns: each input position receives one contribution per
+        # window that covers it.
+        idx = F.im2col_indices(1, 3, 3, 2, 2, 1, 0)
+        cols = np.ones((1, 4, 4))
+        out = F.col2im(cols, (1, 1, 3, 3), idx, 0)
+        np.testing.assert_array_equal(
+            out[0, 0], [[1, 2, 1], [2, 4, 2], [1, 2, 1]]
+        )
+
+    def test_padding_roundtrip_shape(self):
+        x = RNG.normal(size=(2, 2, 5, 5))
+        idx = F.im2col_indices(2, 5, 5, 3, 3, 1, 1)
+        cols = F.im2col(x, idx, 1)
+        back = F.col2im(cols, x.shape, idx, 1)
+        assert back.shape == x.shape

@@ -1,0 +1,346 @@
+"""Unit tests for repro.nn layers: shapes, gradients, mode behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+
+from .helpers import assert_grads_close
+
+RNG = np.random.default_rng(0)
+
+
+def randn(*shape):
+    return RNG.normal(size=shape).astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# Parameter / Module plumbing
+# ----------------------------------------------------------------------
+class TestParameter:
+    def test_dtype_and_contiguity(self):
+        p = Parameter(np.arange(6, dtype=np.float64).reshape(2, 3))
+        assert p.data.dtype == np.float32
+        assert p.data.flags["C_CONTIGUOUS"]
+
+    def test_grad_starts_zero_and_zero_grad_resets(self):
+        p = Parameter(randn(3, 4))
+        assert np.all(p.grad == 0)
+        p.grad += 1.5
+        p.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_nbytes_is_four_per_scalar(self):
+        p = Parameter(randn(5, 7))
+        assert p.nbytes == 5 * 7 * 4
+        assert p.size == 35
+
+    def test_copy_data_is_independent(self):
+        p = Parameter(randn(4))
+        snap = p.copy_data()
+        p.data += 1.0
+        assert not np.allclose(snap, p.data)
+
+
+class TestModule:
+    def test_named_parameters_dotted_paths(self):
+        model = Sequential(Linear(4, 3, rng=RNG), ReLU(), Linear(3, 2, rng=RNG))
+        names = [n for n, _ in model.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+    def test_named_parameters_stamps_names(self):
+        model = Sequential(Linear(4, 3, rng=RNG))
+        list(model.named_parameters())
+        assert model._modules["0"].weight.name == "0.weight"
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(5, 4, rng=np.random.default_rng(1))
+        b = Linear(5, 4, rng=np.random.default_rng(2))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        m = Linear(3, 2, rng=RNG)
+        with pytest.raises(KeyError):
+            m.load_state_dict({"weight": m.weight.data})
+
+    def test_load_state_dict_rejects_extra_keys(self):
+        m = Linear(3, 2, rng=RNG)
+        state = m.state_dict()
+        state["ghost"] = np.zeros(1, dtype=np.float32)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_load_state_dict_rejects_shape_mismatch(self):
+        m = Linear(3, 2, rng=RNG)
+        state = m.state_dict()
+        state["weight"] = np.zeros((4, 4), dtype=np.float32)
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Sequential(Dropout(0.5)))
+        model.eval()
+        assert not model._modules["0"].training
+        assert not model._modules["1"]._modules["0"].training
+        model.train()
+        assert model._modules["0"].training
+
+    def test_num_parameters_and_nbytes(self):
+        m = Linear(10, 5, rng=RNG)
+        assert m.num_parameters() == 10 * 5 + 5
+        assert m.nbytes() == m.num_parameters() * 4
+
+    def test_zero_grad_clears_all(self):
+        m = Sequential(Linear(4, 4, rng=RNG), Linear(4, 2, rng=RNG))
+        x = randn(3, 4)
+        out = m(x)
+        m.backward(np.ones_like(out))
+        assert any(np.any(p.grad != 0) for p in m.parameters())
+        m.zero_grad()
+        assert all(np.all(p.grad == 0) for p in m.parameters())
+
+
+# ----------------------------------------------------------------------
+# Linear
+# ----------------------------------------------------------------------
+class TestLinear:
+    def test_forward_matches_matmul(self):
+        m = Linear(4, 3, rng=RNG)
+        x = randn(5, 4)
+        expected = x @ m.weight.data.T + m.bias.data
+        np.testing.assert_allclose(m(x), expected, rtol=1e-6)
+
+    def test_no_bias(self):
+        m = Linear(4, 3, bias=False, rng=RNG)
+        assert m.bias is None
+        assert [n for n, _ in m.named_parameters()] == ["weight"]
+
+    def test_gradcheck(self):
+        assert_grads_close(Linear(4, 3, rng=RNG), randn(5, 4))
+
+    def test_backward_before_forward_raises(self):
+        m = Linear(4, 3, rng=RNG)
+        with pytest.raises(RuntimeError):
+            m.backward(randn(5, 3))
+
+    def test_gradients_accumulate(self):
+        m = Linear(3, 2, rng=RNG)
+        x = randn(4, 3)
+        out = m(x)
+        m.backward(np.ones_like(out))
+        g1 = m.weight.grad.copy()
+        m(x)
+        m.backward(np.ones_like(out))
+        np.testing.assert_allclose(m.weight.grad, 2 * g1, rtol=1e-5)
+
+
+# ----------------------------------------------------------------------
+# Activations / shape layers
+# ----------------------------------------------------------------------
+class TestActivations:
+    def test_relu_forward(self):
+        m = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        np.testing.assert_array_equal(m(x), [[0.0, 0.0, 2.0]])
+
+    def test_relu_gradcheck(self):
+        # Keep inputs away from the kink at 0.
+        x = randn(4, 6)
+        x[np.abs(x) < 0.1] += 0.2
+        assert_grads_close(ReLU(), x)
+
+    def test_tanh_gradcheck(self):
+        assert_grads_close(Tanh(), randn(4, 6))
+
+    def test_flatten_roundtrip(self):
+        m = Flatten()
+        x = randn(2, 3, 4, 5)
+        out = m(x)
+        assert out.shape == (2, 60)
+        back = m.backward(out)
+        assert back.shape == x.shape
+
+    def test_identity_passthrough(self):
+        m = Identity()
+        x = randn(2, 3)
+        assert m(x) is x
+        assert m.backward(x) is x
+
+
+class TestDropout:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_eval_mode_is_identity(self):
+        m = Dropout(0.5)
+        m.eval()
+        x = randn(8, 8)
+        assert m(x) is x
+
+    def test_train_mode_preserves_expectation(self):
+        m = Dropout(0.5, rng=np.random.default_rng(3))
+        x = np.ones((200, 200), dtype=np.float32)
+        out = m(x)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_backward_uses_same_mask(self):
+        m = Dropout(0.5, rng=np.random.default_rng(3))
+        x = np.ones((10, 10), dtype=np.float32)
+        out = m(x)
+        grad = m.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_p_zero_is_identity_in_train(self):
+        m = Dropout(0.0)
+        x = randn(4, 4)
+        assert m(x) is x
+
+
+# ----------------------------------------------------------------------
+# Conv2d
+# ----------------------------------------------------------------------
+class TestConv2d:
+    def test_output_shape(self):
+        m = Conv2d(3, 8, 3, stride=1, padding=1, rng=RNG)
+        assert m(randn(2, 3, 8, 8)).shape == (2, 8, 8, 8)
+
+    def test_strided_shape(self):
+        m = Conv2d(3, 4, 3, stride=2, padding=1, rng=RNG)
+        assert m(randn(2, 3, 8, 8)).shape == (2, 4, 4, 4)
+
+    def test_channel_mismatch_raises(self):
+        m = Conv2d(3, 4, 3, rng=RNG)
+        with pytest.raises(ValueError):
+            m(randn(2, 5, 8, 8))
+
+    def test_matches_direct_convolution(self):
+        m = Conv2d(2, 3, 3, stride=1, padding=0, rng=RNG)
+        x = randn(1, 2, 5, 5)
+        out = m(x)
+        # Direct sliding-window reference.
+        ref = np.zeros_like(out)
+        for f in range(3):
+            for i in range(3):
+                for j in range(3):
+                    patch = x[0, :, i : i + 3, j : j + 3]
+                    ref[0, f, i, j] = (patch * m.weight.data[f]).sum() + m.bias.data[f]
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_gradcheck_padded(self):
+        assert_grads_close(Conv2d(2, 3, 3, padding=1, rng=RNG), randn(2, 2, 5, 5))
+
+    def test_gradcheck_strided(self):
+        assert_grads_close(
+            Conv2d(2, 2, 3, stride=2, padding=1, rng=RNG), randn(2, 2, 6, 6)
+        )
+
+    def test_geometry_change_recomputes_indices(self):
+        m = Conv2d(1, 1, 3, padding=1, rng=RNG)
+        assert m(randn(1, 1, 6, 6)).shape == (1, 1, 6, 6)
+        assert m(randn(1, 1, 8, 8)).shape == (1, 1, 8, 8)
+
+    def test_empty_output_geometry_raises(self):
+        m = Conv2d(1, 1, 5, rng=RNG)
+        with pytest.raises(ValueError):
+            m(randn(1, 1, 3, 3))
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+class TestPooling:
+    def test_maxpool_forward(self):
+        m = MaxPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = m(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradient_sum_conserved(self):
+        m = MaxPool2d(2)
+        x = randn(2, 3, 6, 6)
+        out = m(x)
+        g = np.ones_like(out)
+        grad = m.backward(g)
+        assert abs(grad.sum() - g.sum()) < 1e-4
+
+    def test_maxpool_gradcheck(self):
+        x = randn(2, 2, 4, 4)
+        # Separate values so the max is locally stable under eps perturbation.
+        x += np.arange(x.size).reshape(x.shape) * 0.05
+        assert_grads_close(MaxPool2d(2), x)
+
+    def test_maxpool_truncates_odd_sizes(self):
+        m = MaxPool2d(2)
+        out = m(randn(1, 1, 5, 5))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_avgpool_forward(self):
+        m = AvgPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        np.testing.assert_allclose(m(x)[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_gradcheck(self):
+        assert_grads_close(AvgPool2d(2), randn(2, 2, 4, 4))
+
+    def test_global_avgpool(self):
+        m = GlobalAvgPool2d()
+        x = randn(2, 3, 4, 4)
+        np.testing.assert_allclose(m(x), x.mean(axis=(2, 3)), rtol=1e-6)
+
+    def test_global_avgpool_gradcheck(self):
+        assert_grads_close(GlobalAvgPool2d(), randn(2, 3, 4, 4))
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(0)
+        with pytest.raises(ValueError):
+            AvgPool2d(-1)
+
+
+# ----------------------------------------------------------------------
+# Sequential
+# ----------------------------------------------------------------------
+class TestSequential:
+    def test_chain_gradcheck(self):
+        model = Sequential(
+            Linear(6, 5, rng=RNG), Tanh(), Linear(5, 3, rng=RNG)
+        )
+        assert_grads_close(model, randn(4, 6))
+
+    def test_iteration_order(self):
+        layers = [Linear(2, 2, rng=RNG), ReLU(), Linear(2, 2, rng=RNG)]
+        model = Sequential(*layers)
+        assert list(model) == layers
+        assert len(model) == 3
+
+    def test_custom_names(self):
+        model = Sequential(
+            Linear(2, 2, rng=RNG), Linear(2, 2, rng=RNG), names=["enc", "dec"]
+        )
+        names = [n for n, _ in model.named_parameters()]
+        assert names == ["enc.weight", "enc.bias", "dec.weight", "dec.bias"]
+
+    def test_names_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Sequential(Linear(2, 2, rng=RNG), names=["a", "b"])

@@ -1,0 +1,80 @@
+"""Tests for model checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LeNetCNN,
+    WideResNet,
+    load_model,
+    save_model,
+    state_from_bytes,
+    state_to_bytes,
+)
+
+
+class TestSaveLoad:
+    def test_roundtrip_cnn(self, tmp_path):
+        a = LeNetCNN(rng=np.random.default_rng(1))
+        b = LeNetCNN(rng=np.random.default_rng(2))
+        path = tmp_path / "cnn.npz"
+        save_model(a, path)
+        load_model(b, path)
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_roundtrip_wrn_with_buffers(self, tmp_path):
+        a = WideResNet(rng=np.random.default_rng(1))
+        # Populate BN running stats so the checkpoint carries real state.
+        x = np.random.default_rng(0).normal(size=(4, 3, 12, 12)).astype(np.float32)
+        a(x)
+        b = WideResNet(rng=np.random.default_rng(2))
+        path = tmp_path / "wrn.npz"
+        save_model(a, path)
+        load_model(b, path)
+        for (na, ba), (nb, bb) in zip(a.named_buffers(), b.named_buffers()):
+            assert na == nb
+            np.testing.assert_array_equal(ba, bb)
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        a = LeNetCNN(rng=np.random.default_rng(1))
+        b = LeNetCNN(fc_sizes=(32, 16), rng=np.random.default_rng(2))
+        path = tmp_path / "cnn.npz"
+        save_model(a, path)
+        with pytest.raises((KeyError, ValueError)):
+            load_model(b, path)
+
+    def test_state_bytes_roundtrip(self):
+        state = {
+            "w": np.arange(6, dtype=np.float32).reshape(2, 3),
+            "b": np.ones(3, dtype=np.float32),
+        }
+        back = state_from_bytes(state_to_bytes(state))
+        assert set(back) == {"w", "b"}
+        np.testing.assert_array_equal(back["w"], state["w"])
+
+    def test_simulator_global_state_checkpoint(self, tmp_path):
+        from repro.algorithms import OptimizerSpec, build_strategy
+        from repro.data import dirichlet_partition, make_workload_data
+        from repro.runtime import FederatedSimulator
+
+        train, test = make_workload_data("cnn", num_samples=300, seed=0)
+        parts = dirichlet_partition(train, 3, alpha=1.0, seed=1, min_samples=8)
+        sim = FederatedSimulator(
+            model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+            strategy=build_strategy("fedavg", OptimizerSpec(lr=0.05)),
+            shards=[train.subset(p) for p in parts],
+            test_set=test,
+            base_iteration_times=[0.01] * 3,
+            batch_size=8,
+            local_iterations=4,
+            seed=0,
+        )
+        sim.run(2)
+        blob = state_to_bytes(sim.global_state)
+        restored = state_from_bytes(blob)
+        for k in sim.global_state:
+            np.testing.assert_array_equal(restored[k], sim.global_state[k])

@@ -1,0 +1,222 @@
+"""Tests for the simulated-time device, network and deadline substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sysmodel import (
+    LinkModel,
+    SpeedTrace,
+    UplinkScheduler,
+    base_iteration_times,
+    sample_speed_ratios,
+    select_deadline,
+)
+
+
+class TestSpeedTrace:
+    def test_static_trace_is_linear(self):
+        tr = SpeedTrace(0.5, seed=0, dynamic=False)
+        assert tr.iteration_finish_time(0.0, 10) == pytest.approx(5.0)
+        assert tr.slowdown_at(123.0) == 1.0
+
+    def test_dynamic_slowdowns_in_range(self):
+        tr = SpeedTrace(0.1, seed=1)
+        slowdowns = {tr.slowdown_at(t) for t in np.linspace(0, 500, 400)}
+        assert all(1.0 <= s <= 5.0 for s in slowdowns)
+        assert len(slowdowns) > 1  # both modes visited
+
+    def test_first_segment_is_fast(self):
+        tr = SpeedTrace(0.1, seed=2)
+        assert tr.slowdown_at(0.0) == 1.0
+
+    def test_finish_time_monotone_in_iterations(self):
+        tr = SpeedTrace(0.1, seed=3)
+        t1 = tr.iteration_finish_time(0.0, 5)
+        t2 = tr.iteration_finish_time(0.0, 10)
+        assert t2 > t1
+
+    def test_finish_time_additive(self):
+        # Completing 10 iterations equals completing 5 then 5 more.
+        tr = SpeedTrace(0.1, seed=4)
+        direct = tr.iteration_finish_time(0.0, 10)
+        mid = tr.iteration_finish_time(0.0, 5)
+        chained = tr.iteration_finish_time(mid, 5)
+        assert direct == pytest.approx(chained, rel=1e-9)
+
+    def test_wall_time_bounded_by_slowdown_range(self):
+        tr = SpeedTrace(0.1, seed=5)
+        finish = tr.iteration_finish_time(0.0, 100)
+        assert 100 * 0.1 <= finish <= 100 * 0.1 * 5.0 + 1e-6
+
+    def test_zero_iterations(self):
+        tr = SpeedTrace(0.1, seed=6)
+        assert tr.iteration_finish_time(3.0, 0) == 3.0
+
+    def test_deterministic_by_seed(self):
+        a = SpeedTrace(0.1, seed=7)
+        b = SpeedTrace(0.1, seed=7)
+        assert a.iteration_finish_time(0.0, 50) == b.iteration_finish_time(0.0, 50)
+
+    def test_average_iteration_time(self):
+        tr = SpeedTrace(0.2, seed=8, dynamic=False)
+        assert tr.average_iteration_time(0.0, 10) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeedTrace(0.0)
+        tr = SpeedTrace(0.1, seed=9)
+        with pytest.raises(ValueError):
+            tr.slowdown_at(-1.0)
+        with pytest.raises(ValueError):
+            tr.iteration_finish_time(-1.0, 1)
+        with pytest.raises(ValueError):
+            tr.iteration_finish_time(0.0, -1)
+        with pytest.raises(ValueError):
+            tr.average_iteration_time(0.0, 0)
+
+    def test_custom_dynamics_distributions(self):
+        tr = SpeedTrace(
+            0.1, seed=10,
+            gamma_fast=(2.0, 0.1), gamma_slow=(2.0, 10.0),
+            slowdown_range=(3.0, 3.0),
+        )
+        # Slow mode dominates: average pace should be well above base.
+        avg = tr.average_iteration_time(0.0, 200)
+        assert avg > 0.15
+
+
+class TestHeterogeneity:
+    def test_ratios_normalised(self):
+        r = sample_speed_ratios(50, seed=0)
+        assert r.min() == pytest.approx(1.0)
+        assert r.max() <= 10.0
+
+    def test_spread_grows_with_sigma(self):
+        tight = sample_speed_ratios(100, sigma=0.1, seed=1)
+        wide = sample_speed_ratios(100, sigma=1.0, seed=1)
+        assert wide.max() > tight.max()
+
+    def test_zero_sigma_uniform(self):
+        r = sample_speed_ratios(10, sigma=0.0, seed=2)
+        np.testing.assert_allclose(r, 1.0)
+
+    def test_base_iteration_times_scale(self):
+        times = base_iteration_times(20, 0.05, seed=3)
+        assert times.min() == pytest.approx(0.05)
+        assert np.all(times >= 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_speed_ratios(0)
+        with pytest.raises(ValueError):
+            sample_speed_ratios(5, sigma=-1)
+        with pytest.raises(ValueError):
+            sample_speed_ratios(5, max_ratio=0.5)
+        with pytest.raises(ValueError):
+            base_iteration_times(5, 0.0)
+
+
+class TestLinkModel:
+    def test_upload_time_formula(self):
+        link = LinkModel(uplink_mbps=8.0, rpc_overhead_s=0.0)
+        # 1 MB at 8 Mbps = 1 second.
+        assert link.upload_seconds(1_000_000) == pytest.approx(1.0)
+
+    def test_rpc_overhead_added(self):
+        link = LinkModel(uplink_mbps=8.0, rpc_overhead_s=0.01)
+        assert link.upload_seconds(0) == pytest.approx(0.01)
+
+    def test_download_uses_downlink(self):
+        link = LinkModel(uplink_mbps=1.0, downlink_mbps=8.0, rpc_overhead_s=0.0)
+        assert link.download_seconds(1_000_000) == pytest.approx(1.0)
+        assert link.upload_seconds(1_000_000) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(uplink_mbps=0.0)
+        with pytest.raises(ValueError):
+            LinkModel(rpc_overhead_s=-1.0)
+        link = LinkModel()
+        with pytest.raises(ValueError):
+            link.upload_seconds(-1)
+
+
+class TestUplinkScheduler:
+    def _sched(self):
+        return UplinkScheduler(LinkModel(uplink_mbps=8.0, rpc_overhead_s=0.0))
+
+    def test_idle_link_starts_immediately(self):
+        s = self._sched()
+        tx = s.submit(1.0, 1_000_000)
+        assert tx.start_time == 1.0
+        assert tx.finish_time == pytest.approx(2.0)
+
+    def test_busy_link_queues_fifo(self):
+        s = self._sched()
+        s.submit(0.0, 1_000_000)  # busy until 1.0
+        tx = s.submit(0.5, 1_000_000)
+        assert tx.start_time == pytest.approx(1.0)
+        assert tx.finish_time == pytest.approx(2.0)
+
+    def test_gap_leaves_link_idle(self):
+        s = self._sched()
+        s.submit(0.0, 1_000_000)
+        tx = s.submit(5.0, 1_000_000)
+        assert tx.start_time == 5.0
+
+    def test_total_bytes_and_log(self):
+        s = self._sched()
+        s.submit(0.0, 100, label="a")
+        s.submit(0.0, 200, label="b")
+        assert s.total_bytes == 300
+        assert [t.label for t in s.log] == ["a", "b"]
+
+    def test_reset(self):
+        s = self._sched()
+        s.submit(0.0, 1_000)
+        s.reset(10.0)
+        assert s.busy_until == 10.0
+        assert s.log == []
+
+    def test_negative_submit_time(self):
+        with pytest.raises(ValueError):
+            self._sched().submit(-1.0, 10)
+
+
+class TestSelectDeadline:
+    def test_single_client(self):
+        assert select_deadline([4.0]) == 4.0
+
+    def test_picks_max_count_per_time(self):
+        # counts/time: 1/1=1, 2/2=1, 3/10=0.3 — ties at 1.0, prefer larger T.
+        assert select_deadline([1.0, 2.0, 10.0]) == 2.0
+
+    def test_fast_cluster_wins(self):
+        times = [1.0, 1.1, 1.2, 9.0, 10.0]
+        # counts/time: 3/1.2 = 2.5 beats 5/10 = 0.5.
+        assert select_deadline(times) == pytest.approx(1.2)
+
+    def test_min_fraction_floor(self):
+        times = [1.0, 1.1, 1.2, 9.0, 10.0]
+        # Eligible counts are 4 (T=9, ratio 0.44) and 5 (T=10, ratio 0.5):
+        # the fast-cluster deadline is excluded by the floor.
+        assert select_deadline(times, min_fraction=0.8) == pytest.approx(10.0)
+
+    def test_min_fraction_one_covers_all(self):
+        times = [1.0, 5.0]
+        assert select_deadline(times, min_fraction=1.0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_deadline([])
+        with pytest.raises(ValueError):
+            select_deadline([0.0, 1.0])
+        with pytest.raises(ValueError):
+            select_deadline([1.0], min_fraction=1.5)
+        with pytest.raises(ValueError):
+            select_deadline([float("inf")])
+
+    def test_unsorted_input(self):
+        assert select_deadline([10.0, 1.0, 2.0]) == 2.0
