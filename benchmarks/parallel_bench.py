@@ -1,0 +1,123 @@
+"""Wall-clock benchmark: serial vs parallel round execution.
+
+Measures the time to run ``--rounds`` communication rounds of the micro CNN
+workload at several client counts under the :class:`SerialExecutor` and the
+:class:`ParallelExecutor`, verifies the two histories are identical, and
+writes the measurements to ``BENCH_parallel.json`` so later PRs have a perf
+trajectory to compare against.
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/parallel_bench.py \
+        --clients 8 16 32 --rounds 3 --out BENCH_parallel.json
+
+Speedup scales with usable cores (the JSON records ``cpu_count``); on a
+single-core machine parallel ≈ serial plus IPC overhead, by design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms import build_strategy  # noqa: E402
+from repro.experiments.configs import get_workload, make_environment  # noqa: E402
+from repro.runtime.parallel import default_workers, fork_available  # noqa: E402
+
+
+def bench_config(num_clients: int):
+    """Micro CNN workload resized to ``num_clients`` (shards stay non-tiny)."""
+    cfg = get_workload("cnn", "micro")
+    return replace(
+        cfg,
+        num_clients=num_clients,
+        num_samples=max(cfg.num_samples, num_clients * 100),
+        local_iterations=10,
+    )
+
+
+def run_once(cfg, executor, rounds: int, seed: int):
+    strategy = build_strategy("fedavg", cfg.optimizer_spec())
+    sim = make_environment(cfg, strategy, seed=seed, executor=executor)
+    try:
+        if executor != "serial":
+            # Fork the pool (and pay its one-off startup) before timing:
+            # steady-state round throughput is what the bench tracks.
+            sim.executor.run_round(sim.global_state, sim.global_buffers, [])
+        start = time.perf_counter()
+        history = sim.run(rounds)
+        elapsed = time.perf_counter() - start
+    finally:
+        sim.close()
+    return elapsed, history
+
+
+def fingerprint(history):
+    return [
+        (r.round_index, r.end_time, r.accuracy, r.collected_clients, r.total_bytes)
+        for r in history.records
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, nargs="+", default=[8, 16, 32])
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel pool size (default: usable cores)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=str(Path(__file__).parent.parent / "BENCH_parallel.json"))
+    args = parser.parse_args(argv)
+
+    workers = args.workers or default_workers()
+    report = {
+        "benchmark": "serial vs parallel round execution (fedavg, micro cnn)",
+        "rounds": args.rounds,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "usable_cores": default_workers(),
+        "fork_available": fork_available(),
+        "results": [],
+    }
+    for n in args.clients:
+        cfg = bench_config(n)
+        serial_s, hist_serial = run_once(cfg, "serial", args.rounds, args.seed)
+        parallel_s, hist_parallel = run_once(
+            cfg, f"parallel:{workers}", args.rounds, args.seed
+        )
+        identical = fingerprint(hist_serial) == fingerprint(hist_parallel)
+        speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+        report["results"].append(
+            {
+                "clients": n,
+                "serial_s": round(serial_s, 4),
+                "parallel_s": round(parallel_s, 4),
+                "speedup": round(speedup, 3),
+                "histories_identical": identical,
+            }
+        )
+        print(
+            f"clients={n:3d}  serial={serial_s:7.3f}s  "
+            f"parallel[{workers}]={parallel_s:7.3f}s  "
+            f"speedup={speedup:5.2f}x  identical={identical}"
+        )
+        if not identical:
+            print("ERROR: serial and parallel histories diverged", file=sys.stderr)
+            return 1
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,6 +71,29 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {n}")
+    return n
+
+
+def _add_executor(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor", default="serial", choices=["serial", "parallel"],
+        help="client-execution engine; 'parallel' uses persistent worker "
+             "processes (same results, lower wall-clock)")
+    parser.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="worker count for --executor parallel (default: usable cores)")
+
+
+def _executor_spec(args: argparse.Namespace) -> str:
+    if args.executor == "parallel" and args.workers is not None:
+        return f"parallel:{args.workers}"
+    return args.executor
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the `repro` argument parser (see module docstring)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -84,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--json", metavar="PATH", default=None,
                        help="write the full round history as JSON")
     _add_common(p_run)
+    _add_executor(p_run)
 
     p_cmp = sub.add_parser("compare", help="run several schemes head-to-head")
     p_cmp.add_argument("--workload", required=True, choices=["cnn", "lstm", "wrn"])
@@ -91,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=["fedavg", "fedprox", "fedada", "fedca"])
     p_cmp.add_argument("--rounds", type=int, default=None)
     _add_common(p_cmp)
+    _add_executor(p_cmp)
 
     p_rep = sub.add_parser("reproduce", help="regenerate one paper artefact")
     p_rep.add_argument("--artifact", required=True, choices=sorted(ARTIFACTS))
@@ -115,6 +140,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         stop_at_target=not args.no_target_stop,
         seed=args.seed,
+        executor=_executor_spec(args),
     )
     hist = result.history
     tta = hist.time_to_accuracy(cfg.target_accuracy)
@@ -137,7 +163,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     """`repro compare` — several schemes under identical conditions."""
     cfg = get_workload(args.workload, args.scale)
     results = compare_schemes(
-        cfg, args.schemes, rounds=args.rounds, seed=args.seed
+        cfg, args.schemes, rounds=args.rounds, seed=args.seed,
+        executor=_executor_spec(args),
     )
     rows = []
     for res in results:

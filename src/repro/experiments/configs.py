@@ -243,8 +243,13 @@ def make_environment(
     *,
     seed: int = 0,
     dynamic: bool = True,
+    executor=None,
 ):
-    """Assemble a :class:`~repro.runtime.FederatedSimulator` for a preset."""
+    """Assemble a :class:`~repro.runtime.FederatedSimulator` for a preset.
+
+    ``executor`` selects the client-execution engine (``None``/``"serial"``,
+    ``"parallel[:N]"``, or an :class:`~repro.runtime.Executor` instance).
+    """
     from ..runtime import FederatedSimulator
 
     shards, test = cfg.make_data()
@@ -263,4 +268,5 @@ def make_environment(
         gamma_fast=cfg.gamma_fast,
         gamma_slow=cfg.gamma_slow,
         seed=seed,
+        executor=executor,
     )

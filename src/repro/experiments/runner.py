@@ -49,23 +49,31 @@ def run_scheme(
     seed: int = 0,
     dynamic: bool = True,
     fedca_config: FedCAConfig | None = None,
+    executor=None,
 ) -> SchemeResult:
     """Train one workload under one scheme and return its history.
 
     When no explicit ``fedca_config`` is given, FedCA variants take the
     workload's scale-adapted profiling period (see
     :class:`~repro.experiments.configs.WorkloadConfig.fedca_profile_every`).
+    ``executor`` selects the client-execution engine (serial by default);
+    the resulting history is engine-independent.
     """
     if fedca_config is None and scheme.lower().startswith("fedca"):
         fedca_config = FedCAConfig(profile_every=cfg.fedca_profile_every)
     strategy = build_strategy(
         scheme, cfg.optimizer_spec(), fedca_config=fedca_config
     )
-    sim = make_environment(cfg, strategy, seed=seed, dynamic=dynamic)
-    history = sim.run(
-        rounds or cfg.default_rounds,
-        target_accuracy=cfg.target_accuracy if stop_at_target else None,
+    sim = make_environment(
+        cfg, strategy, seed=seed, dynamic=dynamic, executor=executor
     )
+    try:
+        history = sim.run(
+            rounds or cfg.default_rounds,
+            target_accuracy=cfg.target_accuracy if stop_at_target else None,
+        )
+    finally:
+        sim.close()
     return SchemeResult(
         workload=cfg.name,
         scheme=strategy.name,
@@ -83,6 +91,7 @@ def compare_schemes(
     seed: int = 0,
     dynamic: bool = True,
     fedca_config: FedCAConfig | None = None,
+    executor=None,
 ) -> list[SchemeResult]:
     """Run several schemes under identical data/system conditions."""
     return [
@@ -94,6 +103,7 @@ def compare_schemes(
             seed=seed,
             dynamic=dynamic,
             fedca_config=fedca_config,
+            executor=executor,
         )
         for scheme in schemes
     ]

@@ -7,6 +7,7 @@ from .aggregation import (
     collect_earliest,
 )
 from .client import SimClient
+from .executor import Executor, SerialExecutor, resolve_executor
 from .export import (
     history_from_dict,
     history_to_csv,
@@ -14,6 +15,7 @@ from .export import (
     history_to_json,
 )
 from .history import RoundRecord, RunHistory
+from .parallel import ParallelExecutor
 from .round import ClientRoundResult, RoundContext
 from .selection import select_clients
 from .simulator import FederatedSimulator
@@ -21,6 +23,10 @@ from .simulator import FederatedSimulator
 __all__ = [
     "FederatedSimulator",
     "SimClient",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "resolve_executor",
     "RoundContext",
     "ClientRoundResult",
     "RoundRecord",

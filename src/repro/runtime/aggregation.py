@@ -1,6 +1,15 @@
-"""Server-side update collection and FedAvg aggregation."""
+"""Server-side update collection and FedAvg aggregation.
+
+The weighted averages here are the server's per-round hot path at scale
+(layers × clients arrays): key sets are validated **once per client**, and
+the accumulation is a single vectorized contraction per layer
+(``np.stack`` + ``einsum``) instead of a Python double loop. Accumulation
+stays in float64 and is cast back to float32 at the end, as before.
+"""
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -21,16 +30,48 @@ def collect_earliest(
     updates (paper §5.1 uses 90 %) and return them with the round-end time
     (the arrival of the last collected update).
 
+    The collected count is pinned to **round-half-up**,
+    ``max(1, floor(fraction · n + 0.5))``: 0.9 × 5 collects 5 and
+    0.9 × 15 collects 14. (Python's ``round`` uses banker's rounding, which
+    made the count depend on the parity of ``fraction · n``'s integer part —
+    0.9 × 5 collected 4 while 0.9 × 15 collected 14.)
+
     Updates arriving after the cut are discarded, as under vanilla FedAvg.
     """
     if not results:
         raise ValueError("no client results to collect")
     if not 0 < fraction <= 1:
         raise ValueError("fraction must be in (0, 1]")
-    count = max(1, int(round(fraction * len(results))))
+    count = min(len(results), max(1, math.floor(fraction * len(results) + 0.5)))
     ordered = sorted(results, key=lambda r: r.upload_finish_time)
     collected = ordered[:count]
     return collected, collected[-1].upload_finish_time
+
+
+def _check_keys(results: list[ClientRoundResult], attr: str) -> None:
+    """One key-set comparison per client (not per layer × client)."""
+    first = getattr(results[0], attr)
+    for r in results[1:]:
+        if getattr(r, attr).keys() != first.keys():
+            kind = "update layers" if attr == "update" else "buffer keys"
+            raise KeyError(
+                f"client {r.client_id} {kind} differ from client "
+                f"{results[0].client_id}"
+            )
+
+
+def _weighted_average(
+    results: list[ClientRoundResult], attr: str, total: float
+) -> dict[str, np.ndarray]:
+    """Vectorized sample-weighted mean of ``results[i].<attr>`` per layer."""
+    weights = np.array([r.num_samples for r in results], dtype=np.float64) / total
+    out: dict[str, np.ndarray] = {}
+    for name in getattr(results[0], attr):
+        stacked = np.stack(
+            [np.asarray(getattr(r, attr)[name], dtype=np.float64) for r in results]
+        )
+        out[name] = np.einsum("c,c...->...", weights, stacked).astype(np.float32)
+    return out
 
 
 def aggregate_updates(
@@ -42,19 +83,8 @@ def aggregate_updates(
     total = float(sum(r.num_samples for r in results))
     if total <= 0:
         raise ValueError("aggregate weight must be positive")
-    out: dict[str, np.ndarray] = {}
-    first = results[0].update
-    for name in first:
-        acc = np.zeros_like(np.asarray(first[name], dtype=np.float64))
-        for r in results:
-            if r.update.keys() != first.keys():
-                raise KeyError(
-                    f"client {r.client_id} update layers differ from client "
-                    f"{results[0].client_id}"
-                )
-            acc += (r.num_samples / total) * np.asarray(r.update[name], dtype=np.float64)
-        out[name] = acc.astype(np.float32)
-    return out
+    _check_keys(results, "update")
+    return _weighted_average(results, "update", total)
 
 
 def aggregate_buffers(
@@ -68,22 +98,11 @@ def aggregate_buffers(
     """
     if not results:
         raise ValueError("cannot aggregate zero results")
-    first = results[0].buffers
-    if not first:
+    if not results[0].buffers:
         return {}
     total = float(sum(r.num_samples for r in results))
-    out: dict[str, np.ndarray] = {}
-    for name in first:
-        acc = np.zeros_like(np.asarray(first[name], dtype=np.float64))
-        for r in results:
-            if r.buffers.keys() != first.keys():
-                raise KeyError(
-                    f"client {r.client_id} buffer keys differ from client "
-                    f"{results[0].client_id}"
-                )
-            acc += (r.num_samples / total) * np.asarray(r.buffers[name], dtype=np.float64)
-        out[name] = acc.astype(np.float32)
-    return out
+    _check_keys(results, "buffers")
+    return _weighted_average(results, "buffers", total)
 
 
 def apply_update(

@@ -1,0 +1,130 @@
+"""Pluggable client-execution engines for the federated simulator.
+
+The simulator delegates the per-round client loop — "run ``client_round``
+for every surviving selected client" — to an :class:`Executor`. Two engines
+ship:
+
+* :class:`SerialExecutor` (default): the historical in-process loop, one
+  client after another.
+* :class:`~repro.runtime.parallel.ParallelExecutor`: persistent worker
+  processes with resident client replicas; see :mod:`repro.runtime.parallel`.
+
+Both engines receive the jobs in deterministic client-id order (the
+simulator's ``survivors`` list is sorted) and must return results in that
+same order, so downstream collection/aggregation — and therefore the whole
+:class:`~repro.runtime.history.RunHistory` — is identical regardless of the
+engine. Parallelism changes wall-clock time only, never the simulation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .round import ClientRoundResult, RoundContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..algorithms.base import Strategy
+    from .client import SimClient
+
+__all__ = ["Executor", "SerialExecutor", "ClientJob", "resolve_executor"]
+
+#: One unit of round work: ``(client_id, round context)``.
+ClientJob = tuple[int, RoundContext]
+
+
+class Executor(ABC):
+    """Engine that executes one round's client workload.
+
+    Lifecycle: the simulator calls :meth:`bind` exactly once at
+    construction, :meth:`run_round` once per communication round, and
+    :meth:`close` when the run is over (or relies on GC/daemon cleanup).
+    """
+
+    #: Short engine name for CLI summaries and bench reports.
+    name: str = "base"
+
+    @abstractmethod
+    def bind(self, clients: Sequence["SimClient"], strategy: "Strategy") -> None:
+        """Attach the simulator's client replicas and strategy."""
+
+    @abstractmethod
+    def run_round(
+        self,
+        global_state: dict[str, np.ndarray],
+        global_buffers: dict[str, np.ndarray],
+        jobs: list[ClientJob],
+    ) -> list[ClientRoundResult]:
+        """Execute every job and return results in job order."""
+
+    def close(self) -> None:
+        """Release any engine resources (processes, pipes). Idempotent."""
+
+    # Context-manager sugar so ad-hoc scripts don't leak worker processes.
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """The default single-process engine (exactly the historical behavior)."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._clients: Sequence["SimClient"] | None = None
+        self._strategy: "Strategy" | None = None
+
+    def bind(self, clients: Sequence["SimClient"], strategy: "Strategy") -> None:
+        self._clients = clients
+        self._strategy = strategy
+
+    def run_round(
+        self,
+        global_state: dict[str, np.ndarray],
+        global_buffers: dict[str, np.ndarray],
+        jobs: list[ClientJob],
+    ) -> list[ClientRoundResult]:
+        if self._clients is None or self._strategy is None:
+            raise RuntimeError("executor not bound; construct it via FederatedSimulator")
+        results: list[ClientRoundResult] = []
+        for cid, ctx in jobs:
+            client = self._clients[cid]
+            client.stage_buffers(global_buffers)
+            results.append(self._strategy.client_round(client, global_state, ctx))
+        return results
+
+
+def resolve_executor(spec: "Executor | str | None") -> Executor:
+    """Turn an executor spec into an engine instance.
+
+    ``None``/``"serial"`` → :class:`SerialExecutor`; ``"parallel"`` or
+    ``"parallel:N"`` → :class:`~repro.runtime.parallel.ParallelExecutor`
+    (with N workers); an :class:`Executor` instance passes through.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    if isinstance(spec, str):
+        key = spec.strip().lower()
+        if key == "serial":
+            return SerialExecutor()
+        if key == "parallel" or key.startswith("parallel:"):
+            from .parallel import ParallelExecutor
+
+            if ":" in key:
+                try:
+                    workers = int(key.split(":", 1)[1])
+                except ValueError:
+                    raise ValueError(f"bad worker count in executor spec {spec!r}")
+                return ParallelExecutor(workers=workers)
+            return ParallelExecutor()
+    raise ValueError(
+        f"unknown executor spec {spec!r}; expected 'serial', 'parallel[:N]' "
+        "or an Executor instance"
+    )

@@ -1,0 +1,264 @@
+"""Process-parallel client execution with persistent worker pools.
+
+``ParallelExecutor`` forks ``workers`` long-lived processes the first time a
+round runs. Each worker inherits (via ``fork``) the simulator's fully
+initialised client replicas *and* a replica of the strategy, and keeps them
+resident for the whole run — there is no per-round pickling of clients,
+models or data shards. Per round, the parent sends each busy worker one
+message: the global state (and buffers), serialised **once** through the
+``.npz`` codec in :mod:`repro.nn.serialize`, plus that worker's job list;
+the worker sends back its :class:`~repro.runtime.round.ClientRoundResult`
+batch.
+
+Determinism
+-----------
+Client ``cid`` is permanently owned by worker ``cid % workers`` (sticky
+routing), so every stateful per-client object — the cyclic
+:class:`~repro.data.loader.BatchStream`, the lazily extended
+:class:`~repro.sysmodel.speed.SpeedTrace`, FedCA's per-client profiled
+curves — evolves in exactly one process, in exactly the order it would have
+evolved serially. Results are reassembled in the simulator's job order
+(sorted client ids). Serial and parallel runs therefore produce
+**bitwise-identical** :class:`~repro.runtime.history.RunHistory` objects;
+``tests/test_executor.py`` asserts this for FedAvg and FedCA.
+
+Fallback
+--------
+* Platforms without the ``fork`` start method get a transparent
+  :class:`~repro.runtime.executor.SerialExecutor` delegate (still
+  deterministic, just not parallel).
+* If a worker process dies mid-run, the unfinished jobs of that round — and
+  every later round — run serially on the parent's replicas. The run
+  completes, but because the parent replicas did not observe the rounds the
+  dead pool executed, the bitwise-determinism guarantee is void from the
+  crash onward (a warning says so).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+import warnings
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..nn.serialize import state_from_bytes, state_to_bytes
+from .executor import ClientJob, Executor, SerialExecutor
+from .round import ClientRoundResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..algorithms.base import Strategy
+    from .client import SimClient
+
+__all__ = ["ParallelExecutor", "WorkerCrash", "fork_available", "default_workers"]
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """Default pool size: the cores this process may actually use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process exited without returning its round results."""
+
+
+def _worker_main(conn, clients, strategy, owned_ids) -> None:
+    """Worker loop: resident clients, one recv/send pair per round.
+
+    Runs in the forked child. ``clients``/``strategy`` arrive by fork
+    inheritance (never pickled); ``owned_ids`` is informational.
+    """
+    try:
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                return
+            _, state_blob, buffers_blob, jobs = msg
+            try:
+                state = state_from_bytes(state_blob)
+                buffers = (
+                    {} if buffers_blob is None else state_from_bytes(buffers_blob)
+                )
+                out: list[ClientRoundResult] = []
+                for cid, ctx in jobs:
+                    client = clients[cid]
+                    client.stage_buffers(buffers)
+                    out.append(strategy.client_round(client, state, ctx))
+                conn.send(("ok", out))
+            except Exception:
+                conn.send(("err", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt, BrokenPipeError):  # parent went away
+        pass
+    finally:
+        conn.close()
+
+
+class ParallelExecutor(Executor):
+    """Persistent-worker process pool (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to the usable core count. One worker reproduces
+        the serial schedule in a child process (useful for isolating
+        fork-related issues from parallelism issues).
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers or default_workers()
+        self._clients: Sequence["SimClient"] | None = None
+        self._strategy: "Strategy" | None = None
+        self._procs: list[mp.process.BaseProcess] = []
+        self._conns: list = []
+        self._started = False
+        self._fallback: SerialExecutor | None = None
+
+    # ------------------------------------------------------------------
+    def bind(self, clients: Sequence["SimClient"], strategy: "Strategy") -> None:
+        self._clients = clients
+        self._strategy = strategy
+        if not fork_available():
+            warnings.warn(
+                "platform lacks the 'fork' start method; "
+                "ParallelExecutor falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._degrade()
+
+    def _degrade(self) -> None:
+        """Route all remaining work through a serial engine on the parent
+        replicas."""
+        assert self._clients is not None and self._strategy is not None
+        self._fallback = SerialExecutor()
+        self._fallback.bind(self._clients, self._strategy)
+
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        """Fork the pool. Must happen before any round has run, so the
+        children inherit the clients in their initial (seeded) state."""
+        ctx = mp.get_context("fork")
+        for w in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            owned = [
+                c.client_id for c in self._clients if c.client_id % self.workers == w
+            ]
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self._clients, self._strategy, owned),
+                daemon=True,
+                name=f"repro-worker-{w}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._started = True
+
+    # ------------------------------------------------------------------
+    def run_round(
+        self,
+        global_state: dict[str, np.ndarray],
+        global_buffers: dict[str, np.ndarray],
+        jobs: list[ClientJob],
+    ) -> list[ClientRoundResult]:
+        if self._fallback is not None:
+            return self._fallback.run_round(global_state, global_buffers, jobs)
+        if self._clients is None or self._strategy is None:
+            raise RuntimeError("executor not bound; construct it via FederatedSimulator")
+        if not self._started:
+            self._start()
+
+        # Broadcast once: one codec pass regardless of client/worker count.
+        state_blob = state_to_bytes(global_state)
+        buffers_blob = state_to_bytes(global_buffers) if global_buffers else None
+
+        per_worker: dict[int, list[ClientJob]] = {}
+        for cid, ctx in jobs:
+            per_worker.setdefault(cid % self.workers, []).append((cid, ctx))
+
+        crashed = False
+        for w, wjobs in per_worker.items():
+            try:
+                self._conns[w].send(("round", state_blob, buffers_blob, wjobs))
+            except (BrokenPipeError, OSError):
+                crashed = True
+
+        by_cid: dict[int, ClientRoundResult] = {}
+        if not crashed:
+            for w, wjobs in per_worker.items():
+                try:
+                    tag, payload = self._conns[w].recv()
+                except (EOFError, OSError):
+                    crashed = True
+                    break
+                if tag == "err":
+                    # Deterministic strategy/client exception: it would have
+                    # happened serially too, so propagate instead of degrading.
+                    raise RuntimeError(
+                        f"client round failed in worker {w}:\n{payload}"
+                    )
+                for result in payload:
+                    by_cid[result.client_id] = result
+
+        if crashed:
+            warnings.warn(
+                "a parallel worker died; finishing the run serially — "
+                "bitwise determinism vs a pure-serial run is no longer "
+                "guaranteed from this round on",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._shutdown_pool()
+            self._degrade()
+            remaining = [(cid, ctx) for cid, ctx in jobs if cid not in by_cid]
+            for result in self._fallback.run_round(
+                global_state, global_buffers, remaining
+            ):
+                by_cid[result.client_id] = result
+
+        return [by_cid[cid] for cid, _ in jobs]
+
+    # ------------------------------------------------------------------
+    def _shutdown_pool(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs.clear()
+        self._conns.clear()
+        self._started = False
+
+    def close(self) -> None:
+        if self._started:
+            self._shutdown_pool()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -24,6 +24,7 @@ from .aggregation import (
     collect_earliest,
 )
 from .client import SimClient
+from .executor import Executor, resolve_executor
 from .history import RoundRecord, RunHistory
 from .round import RoundContext
 from .selection import select_clients
@@ -64,6 +65,12 @@ class FederatedSimulator:
         Optional per-client link factory; defaults to the paper's 13.7 Mbps.
     dynamic:
         Enable fast/slow toggling on every client.
+    executor:
+        Client-execution engine: ``None``/``"serial"`` (default),
+        ``"parallel"``/``"parallel:N"``, or an
+        :class:`~repro.runtime.executor.Executor` instance. Engines only
+        change wall-clock time; the produced history is identical (see
+        :mod:`repro.runtime.parallel`).
     """
 
     def __init__(
@@ -87,6 +94,7 @@ class FederatedSimulator:
         dropout_rate: float = 0.0,
         seed: int = 0,
         eval_batch: int = 512,
+        executor: "Executor | str | None" = None,
     ) -> None:
         if len(shards) != len(base_iteration_times):
             raise ValueError("need one base iteration time per client shard")
@@ -147,6 +155,21 @@ class FederatedSimulator:
         self.dropout = DropoutModel(dropout_rate, seed=seed)
         self.time = 0.0
         self.history = RunHistory()
+        # The executor must bind while the clients are still in their
+        # initial seeded state (ParallelExecutor forks replicas from here).
+        self.executor = resolve_executor(executor)
+        self.executor.bind(self.clients, self.strategy)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor resources (worker processes). Idempotent."""
+        self.executor.close()
+
+    def __enter__(self) -> "FederatedSimulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def evaluate(self) -> float:
@@ -207,20 +230,22 @@ class FederatedSimulator:
             self.time = record.end_time
             return record
 
-        results = []
-        for cid in survivors:
-            ctx = RoundContext(
-                round_index=round_index,
-                round_start=self.time,
-                iterations=self.local_iterations,
-                deadline=deadline,
-                assigned_iterations=None if budgets is None else budgets.get(cid),
+        jobs = [
+            (
+                cid,
+                RoundContext(
+                    round_index=round_index,
+                    round_start=self.time,
+                    iterations=self.local_iterations,
+                    deadline=deadline,
+                    assigned_iterations=None if budgets is None else budgets.get(cid),
+                ),
             )
-            client = self.clients[cid]
-            client.stage_buffers(self.global_buffers)
-            results.append(
-                self.strategy.client_round(client, self.global_state, ctx)
-            )
+            for cid in survivors
+        ]
+        results = self.executor.run_round(
+            self.global_state, self.global_buffers, jobs
+        )
 
         collected, round_end = collect_earliest(results, self.aggregation_fraction)
         update = aggregate_updates(collected)

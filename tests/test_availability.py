@@ -106,7 +106,11 @@ class TestSimulatorDropouts:
             np.testing.assert_array_equal(before[k], sim.global_state[k])
 
     def test_fedca_tolerates_dropouts(self):
+        # 12 rounds: the half-up collection convention aggregates all 5
+        # survivors in full-participation rounds (was 4 under banker's
+        # rounding), which shifts this noisy 5-client trajectory enough that
+        # 8 rounds sit exactly at chance level.
         sim = make_sim(0.3, seed=5, scheme="fedca")
-        hist = sim.run(8)
-        assert hist.num_rounds == 8
+        hist = sim.run(12)
+        assert hist.num_rounds == 12
         assert hist.best_accuracy() > 0.1

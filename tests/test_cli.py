@@ -26,6 +26,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--workload", "vgg", "--scheme", "fedavg"])
 
+    def test_executor_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "cnn", "--scheme", "fedavg",
+             "--executor", "parallel", "--workers", "2"]
+        )
+        assert args.executor == "parallel"
+        assert args.workers == 2
+        # Default stays serial so existing workflows are unchanged.
+        args = build_parser().parse_args(
+            ["compare", "--workload", "cnn"]
+        )
+        assert args.executor == "serial"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--workload", "cnn", "--scheme", "fedavg",
+                 "--executor", "threads"]
+            )
+        # Non-positive worker counts are rejected at the parser, not deep
+        # inside the executor.
+        for bad in ("0", "-2"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["run", "--workload", "cnn", "--scheme", "fedavg",
+                     "--executor", "parallel", "--workers", bad]
+                )
+
     def test_reproduce_artifact_choices(self):
         for artifact in ARTIFACTS:
             args = build_parser().parse_args(["reproduce", "--artifact", artifact])
@@ -60,6 +86,17 @@ class TestCommands:
         text = capsys.readouterr().out
         assert "FedAvg" in text and "FedCA" in text
         assert "Per-round (s)" in text
+
+    def test_run_parallel_executor(self, capsys):
+        rc = main(
+            [
+                "run", "--workload", "cnn", "--scheme", "fedavg",
+                "--rounds", "2", "--no-target-stop",
+                "--executor", "parallel", "--workers", "2",
+            ]
+        )
+        assert rc == 0
+        assert "FedAvg on cnn" in capsys.readouterr().out
 
     def test_overhead(self, capsys):
         rc = main(["overhead"])

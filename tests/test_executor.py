@@ -1,0 +1,235 @@
+"""Execution-engine tests: serial/parallel bitwise equivalence, sticky
+worker routing, fallback paths, and executor resolution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import OptimizerSpec, build_strategy
+from repro.core import FedCAConfig
+from repro.data import dirichlet_partition, make_workload_data
+from repro.nn import LeNetCNN
+from repro.runtime import (
+    FederatedSimulator,
+    ParallelExecutor,
+    RunHistory,
+    SerialExecutor,
+    resolve_executor,
+)
+from repro.runtime.parallel import fork_available
+
+OPT = OptimizerSpec(lr=0.05, weight_decay=0.01)
+NUM_CLIENTS = 5
+ITERS = 6
+
+
+@pytest.fixture(scope="module")
+def env_data():
+    train, test = make_workload_data("cnn", num_samples=400, seed=3)
+    parts = dirichlet_partition(train, NUM_CLIENTS, alpha=0.5, seed=4, min_samples=8)
+    return [train.subset(p) for p in parts], test
+
+
+def make_sim(env_data, scheme, *, executor, seed=1, **kwargs):
+    shards, test = env_data
+    # Short FedCA profiling period so a 4-round run covers both anchor and
+    # optimised rounds (the stateful per-client path).
+    fedca_cfg = FedCAConfig(profile_every=2) if scheme.startswith("fedca") else None
+    defaults = dict(
+        model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+        strategy=build_strategy(scheme, OPT, fedca_config=fedca_cfg),
+        shards=shards,
+        test_set=test,
+        base_iteration_times=[0.01, 0.012, 0.015, 0.02, 0.03],
+        batch_size=8,
+        local_iterations=ITERS,
+        aggregation_fraction=0.8,
+        seed=seed,
+        executor=executor,
+    )
+    defaults.update(kwargs)
+    return FederatedSimulator(**defaults)
+
+
+def history_fingerprint(hist: RunHistory):
+    """Every field the bitwise-identity guarantee covers."""
+    return [
+        (
+            r.round_index,
+            r.start_time,
+            r.end_time,
+            r.accuracy,
+            r.mean_loss,
+            r.collected_clients,
+            r.straggler_clients,
+            r.mean_iterations,
+            r.total_bytes,
+        )
+        for r in hist.records
+    ]
+
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+class TestSerialParallelEquivalence:
+    @needs_fork
+    @pytest.mark.parametrize("scheme", ["fedavg", "fedca"])
+    def test_bitwise_identical_histories(self, env_data, scheme):
+        ref = make_sim(env_data, scheme, executor="serial").run(4)
+        for executor in (ParallelExecutor(workers=1), ParallelExecutor(workers=4)):
+            with make_sim(env_data, scheme, executor=executor) as sim:
+                hist = sim.run(4)
+            assert history_fingerprint(hist) == history_fingerprint(ref)
+
+    @needs_fork
+    def test_global_state_bitwise_identical(self, env_data):
+        sim_s = make_sim(env_data, "fedavg", executor="serial")
+        sim_s.run(3)
+        with make_sim(env_data, "fedavg", executor="parallel:3") as sim_p:
+            sim_p.run(3)
+        for name in sim_s.global_state:
+            assert np.array_equal(
+                sim_s.global_state[name], sim_p.global_state[name]
+            ), f"layer {name} diverged"
+
+    @needs_fork
+    def test_buffered_model_equivalence(self, env_data):
+        # WRN carries BatchNorm running statistics, exercising the separate
+        # buffer-broadcast blob and buffer aggregation in parallel mode.
+        from repro.data import dirichlet_partition, make_workload_data
+        from repro.nn import build_model
+
+        train, test = make_workload_data("wrn", num_samples=240, num_classes=8, seed=3)
+        parts = dirichlet_partition(train, 3, alpha=0.5, seed=4, min_samples=8)
+        shards = [train.subset(p) for p in parts]
+
+        def build(executor):
+            return FederatedSimulator(
+                model_fn=lambda: build_model("wrn", rng=np.random.default_rng(7)),
+                strategy=build_strategy("fedavg", OPT),
+                shards=shards,
+                test_set=test,
+                base_iteration_times=[0.01, 0.02, 0.03],
+                batch_size=8,
+                local_iterations=2,
+                seed=1,
+                executor=executor,
+            )
+
+        ref = build("serial").run(3)
+        with build("parallel:2") as sim:
+            hist = sim.run(3)
+        assert history_fingerprint(hist) == history_fingerprint(ref)
+
+    @needs_fork
+    def test_partial_participation_equivalence(self, env_data):
+        ref = make_sim(
+            env_data, "fedca", executor="serial", clients_per_round=3
+        ).run(4)
+        with make_sim(
+            env_data, "fedca", executor="parallel:2", clients_per_round=3
+        ) as sim:
+            hist = sim.run(4)
+        assert history_fingerprint(hist) == history_fingerprint(ref)
+
+
+class TestParallelLifecycle:
+    @needs_fork
+    def test_workers_persist_across_rounds(self, env_data):
+        executor = ParallelExecutor(workers=2)
+        with make_sim(env_data, "fedavg", executor=executor) as sim:
+            sim.run_round()
+            first_pids = [p.pid for p in executor._procs]
+            sim.run_round()
+            assert [p.pid for p in executor._procs] == first_pids
+
+    @needs_fork
+    def test_close_reaps_workers(self, env_data):
+        executor = ParallelExecutor(workers=2)
+        sim = make_sim(env_data, "fedavg", executor=executor)
+        sim.run_round()
+        procs = list(executor._procs)
+        sim.close()
+        assert all(not p.is_alive() for p in procs)
+        assert executor._procs == []
+
+    @needs_fork
+    def test_worker_death_falls_back_to_serial(self, env_data):
+        executor = ParallelExecutor(workers=2)
+        with make_sim(env_data, "fedavg", executor=executor) as sim:
+            sim.run_round()
+            executor._procs[0].terminate()
+            executor._procs[0].join()
+            with pytest.warns(RuntimeWarning, match="worker died"):
+                sim.run_round()
+            # Run continues (now serial) and history stays coherent.
+            rec = sim.run_round()
+            assert sim.history.num_rounds == 3
+            assert rec.end_time > rec.start_time
+            assert executor._fallback is not None
+
+    @needs_fork
+    def test_client_exception_propagates(self, env_data):
+        # A deterministic error inside client_round (here: a broadcast state
+        # with a missing layer) must surface in the parent, not degrade the
+        # pool — it would fail identically under the serial engine.
+        executor = ParallelExecutor(workers=2)
+        with make_sim(env_data, "fedavg", executor=executor) as sim:
+            bad_state = dict(sim.global_state)
+            bad_state.pop(next(iter(bad_state)))
+            from repro.runtime.round import RoundContext
+
+            ctx = RoundContext(
+                round_index=0, round_start=0.0, iterations=1, deadline=1.0
+            )
+            with pytest.raises(RuntimeError, match="client round failed"):
+                executor.run_round(bad_state, {}, [(0, ctx)])
+
+
+class TestFallbackWithoutFork:
+    def test_bind_degrades_when_fork_missing(self, env_data, monkeypatch):
+        monkeypatch.setattr(
+            "repro.runtime.parallel.fork_available", lambda: False
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            sim = make_sim(env_data, "fedavg", executor=ParallelExecutor(workers=2))
+        assert sim.executor._fallback is not None
+        ref = make_sim(env_data, "fedavg", executor="serial").run(2)
+        assert history_fingerprint(sim.run(2)) == history_fingerprint(ref)
+
+
+class TestResolveExecutor:
+    def test_default_is_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+
+    def test_parallel_specs(self):
+        ex = resolve_executor("parallel:3")
+        assert isinstance(ex, ParallelExecutor)
+        assert ex.workers == 3
+        assert isinstance(resolve_executor("parallel"), ParallelExecutor)
+
+    def test_instance_passthrough(self):
+        ex = SerialExecutor()
+        assert resolve_executor(ex) is ex
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            resolve_executor("threads")
+        with pytest.raises(ValueError):
+            resolve_executor("parallel:zero")
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+
+    def test_unbound_run_raises(self):
+        from repro.runtime.round import RoundContext
+
+        ctx = RoundContext(round_index=0, round_start=0.0, iterations=1, deadline=1.0)
+        with pytest.raises(RuntimeError):
+            SerialExecutor().run_round({}, {}, [(0, ctx)])
+        with pytest.raises(RuntimeError):
+            ParallelExecutor(workers=1).run_round({}, {}, [(0, ctx)])

@@ -90,6 +90,20 @@ class TestCollectEarliest:
         collected, _ = collect_earliest(results, 0.1)
         assert len(collected) == 1
 
+    def test_half_up_rounding_convention(self):
+        # Pinned to max(1, floor(fraction·n + 0.5)) — round-half-up, not
+        # Python's banker's rounding: 0.9·5 = 4.5 collects 5, 0.9·15 = 13.5
+        # collects 14, independent of the parity of the integer part.
+        for n, expected in [(5, 5), (15, 14), (10, 9), (20, 18)]:
+            results = [result(i, finish=float(i + 1)) for i in range(n)]
+            collected, _ = collect_earliest(results, 0.9)
+            assert len(collected) == expected, f"n={n}"
+
+    def test_count_never_exceeds_results(self):
+        results = [result(i, finish=float(i + 1)) for i in range(3)]
+        collected, _ = collect_earliest(results, 1.0)
+        assert len(collected) == 3
+
     def test_validation(self):
         with pytest.raises(ValueError):
             collect_earliest([], 0.9)
