@@ -13,6 +13,17 @@ Regenerate with::
 
 Speedup scales with usable cores (the JSON records ``cpu_count``); on a
 single-core machine parallel ≈ serial plus IPC overhead, by design.
+
+Telemetry modes (PR 2):
+
+* ``--recorder trace [--trace-out PATH]`` runs every measurement with a
+  :class:`~repro.obs.TraceRecorder` attached (JSONL streamed to PATH), so
+  the bench doubles as an instrumented-run cost probe.
+* ``--telemetry-check`` runs the FedCA micro config serially twice —
+  ``NullRecorder`` vs ``TraceRecorder`` with a live JSONL sink — best-of
+  ``--repeats`` each, and exits non-zero if enabled-tracing overhead
+  exceeds ``--max-overhead`` (default 10 %). CI runs this and uploads the
+  trace artifact.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.algorithms import build_strategy  # noqa: E402
 from repro.experiments.configs import get_workload, make_environment  # noqa: E402
+from repro.obs import TraceRecorder  # noqa: E402
 from repro.runtime.parallel import default_workers, fork_available  # noqa: E402
 
 
@@ -43,9 +55,12 @@ def bench_config(num_clients: int):
     )
 
 
-def run_once(cfg, executor, rounds: int, seed: int):
-    strategy = build_strategy("fedavg", cfg.optimizer_spec())
-    sim = make_environment(cfg, strategy, seed=seed, executor=executor)
+def run_once(cfg, executor, rounds: int, seed: int, *, scheme="fedavg",
+             recorder=None):
+    strategy = build_strategy(scheme, cfg.optimizer_spec())
+    sim = make_environment(
+        cfg, strategy, seed=seed, executor=executor, recorder=recorder
+    )
     try:
         if executor != "serial":
             # Fork the pool (and pay its one-off startup) before timing:
@@ -57,6 +72,52 @@ def run_once(cfg, executor, rounds: int, seed: int):
     finally:
         sim.close()
     return elapsed, history
+
+
+def telemetry_check(args) -> int:
+    """NullRecorder vs TraceRecorder overhead gate (CI smoke job).
+
+    Best-of-``repeats`` timing absorbs scheduler noise; the trace run
+    streams JSONL to ``--trace-out`` on every repeat so sink I/O is part
+    of the measured cost — that is the overhead contract (DESIGN.md §9).
+    """
+    cfg = bench_config(args.clients[0])
+    rounds, seed = args.rounds, args.seed
+
+    def best_of(recorder_factory):
+        times = []
+        for _ in range(args.repeats):
+            rec = recorder_factory()
+            elapsed, history = run_once(
+                cfg, "serial", rounds, seed, scheme="fedca", recorder=rec
+            )
+            if rec is not None:
+                rec.close()
+            times.append(elapsed)
+        return min(times), history
+
+    null_s, hist_null = best_of(lambda: None)
+    trace_s, hist_trace = best_of(
+        lambda: TraceRecorder(trace_path=args.trace_out)
+    )
+    if fingerprint(hist_null) != fingerprint(hist_trace):
+        print("ERROR: tracing changed the simulated history", file=sys.stderr)
+        return 1
+    overhead = (trace_s - null_s) / null_s
+    print(
+        f"telemetry overhead: null={null_s:.3f}s trace={trace_s:.3f}s "
+        f"overhead={overhead * 100:+.1f}% (limit {args.max_overhead * 100:.0f}%)"
+    )
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    if overhead > args.max_overhead:
+        print(
+            f"ERROR: enabled-tracing overhead {overhead * 100:.1f}% exceeds "
+            f"{args.max_overhead * 100:.0f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def fingerprint(history):
@@ -74,7 +135,27 @@ def main(argv=None) -> int:
                         help="parallel pool size (default: usable cores)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default=str(Path(__file__).parent.parent / "BENCH_parallel.json"))
+    parser.add_argument("--recorder", default="null", choices=["null", "trace"],
+                        help="telemetry recorder attached to every measured run")
+    parser.add_argument("--telemetry-check", action="store_true",
+                        help="run the NullRecorder-vs-TraceRecorder overhead "
+                             "gate instead of the serial/parallel bench")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="JSONL trace destination for trace-recorder runs")
+    parser.add_argument("--max-overhead", type=float, default=0.10,
+                        help="--telemetry-check failure threshold "
+                             "(fraction, default 0.10)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="--telemetry-check best-of repeat count")
     args = parser.parse_args(argv)
+
+    if args.telemetry_check:
+        return telemetry_check(args)
+
+    def make_recorder():
+        if args.recorder == "trace":
+            return TraceRecorder(trace_path=args.trace_out)
+        return None
 
     workers = args.workers or default_workers()
     report = {
@@ -88,10 +169,25 @@ def main(argv=None) -> int:
     }
     for n in args.clients:
         cfg = bench_config(n)
-        serial_s, hist_serial = run_once(cfg, "serial", args.rounds, args.seed)
-        parallel_s, hist_parallel = run_once(
-            cfg, f"parallel:{workers}", args.rounds, args.seed
-        )
+        # One recorder at a time: both runs would otherwise hold the same
+        # --trace-out file open (the parallel run's trace is the one kept).
+        rec = make_recorder()
+        try:
+            serial_s, hist_serial = run_once(
+                cfg, "serial", args.rounds, args.seed, recorder=rec
+            )
+        finally:
+            if rec is not None:
+                rec.close()
+        rec = make_recorder()
+        try:
+            parallel_s, hist_parallel = run_once(
+                cfg, f"parallel:{workers}", args.rounds, args.seed,
+                recorder=rec,
+            )
+        finally:
+            if rec is not None:
+                rec.close()
         identical = fingerprint(hist_serial) == fingerprint(hist_parallel)
         speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
         report["results"].append(

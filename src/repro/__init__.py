@@ -6,12 +6,13 @@ NN substrate (:mod:`repro.nn`), synthetic non-IID workloads
 (:mod:`repro.sysmodel`), the FedCA mechanism (:mod:`repro.core`), all
 evaluated schemes (:mod:`repro.algorithms`) under an in-process FL simulator
 (:mod:`repro.runtime`), with the experiment harness in
-:mod:`repro.experiments`.
+:mod:`repro.experiments` and the telemetry layer in :mod:`repro.obs`.
 """
 
-from . import algorithms, core, data, nn, runtime, sysmodel
+from . import algorithms, core, data, nn, obs, runtime, sysmodel
 from .algorithms import OptimizerSpec, build_strategy
 from .core import FedCAConfig
+from .obs import NullRecorder, Recorder, TraceRecorder
 from .runtime import FederatedSimulator
 
 __version__ = "1.0.0"
@@ -23,9 +24,13 @@ __all__ = [
     "core",
     "algorithms",
     "runtime",
+    "obs",
     "FederatedSimulator",
     "FedCAConfig",
     "OptimizerSpec",
     "build_strategy",
+    "Recorder",
+    "NullRecorder",
+    "TraceRecorder",
     "__version__",
 ]

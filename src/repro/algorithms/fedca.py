@@ -94,9 +94,16 @@ class FedCA(Strategy):
         )
         client.load_global(global_state)
         opt = self.optimizer.build(client.model)
+        # Decision-event buffer, forwarded on the result and merged into the
+        # parent recorder (works identically inside parallel workers).
+        trace: list[dict] | None = [] if ctx.trace_enabled else None
         if anchor:
-            return self._anchor_round(client, global_state, ctx, opt, compute_start)
-        return self._optimized_round(client, global_state, ctx, opt, compute_start)
+            return self._anchor_round(
+                client, global_state, ctx, opt, compute_start, trace
+            )
+        return self._optimized_round(
+            client, global_state, ctx, opt, compute_start, trace
+        )
 
     # ------------------------------------------------------------------
     def _anchor_round(
@@ -106,6 +113,7 @@ class FedCA(Strategy):
         ctx: RoundContext,
         opt,
         compute_start: float,
+        trace: list[dict] | None = None,
     ) -> ClientRoundResult:
         sampler = self._sampler_for(client)
         recorder = AnchorRecorder(sampler)
@@ -117,6 +125,11 @@ class FedCA(Strategy):
             t = client.trace.iteration_finish_time(t, 1)
             recorder.record(params, global_state)
         profiling_bytes = recorder.memory_bytes()
+        if trace is not None:
+            # stats() must read the recorder before finalize clears it.
+            trace.append(
+                {"kind": "fedca.anchor", "sim_time": t, "fields": recorder.stats()}
+            )
         self._curves[client.client_id] = recorder.finalize(ctx.round_index)
         upload_finish, nbytes = self._finish_upload(client, compute_start, t)
         return ClientRoundResult(
@@ -138,6 +151,7 @@ class FedCA(Strategy):
                 "profiling_bytes": profiling_bytes,
             },
             buffers=client.model.buffer_dict(),
+            trace=trace or [],
         )
 
     # ------------------------------------------------------------------
@@ -155,12 +169,32 @@ class FedCA(Strategy):
         ctx: RoundContext,
         opt,
         compute_start: float,
+        trace: list[dict] | None = None,
     ) -> ClientRoundResult:
         cfg = self.config
         curves = self._curves[client.client_id]
         stopper = EarlyStopPolicy(curves, cfg)
+        t = compute_start
+
+        eager_sink = None
+        if trace is not None:
+            def eager_sink(layer: str, trigger: int, fired: int) -> None:
+                # ``t`` reads the enclosing loop's current iteration finish.
+                trace.append(
+                    {
+                        "kind": "fedca.eager",
+                        "sim_time": t,
+                        "fields": {
+                            "layer": layer,
+                            "tau": fired,
+                            "trigger": trigger,
+                            "bytes": client.layer_bytes[layer],
+                        },
+                    }
+                )
+
         schedule = (
-            EagerSchedule(curves, cfg.eager_threshold)
+            EagerSchedule(curves, cfg.eager_threshold, sink=eager_sink)
             if cfg.enable_eager_transmit
             else None
         )
@@ -169,9 +203,9 @@ class FedCA(Strategy):
         params = {name: p.data for name, p in client.model.named_parameters()}
         transmitted: dict[str, np.ndarray] = {}
         eager_iter: dict[str, int] = {}
-        t = compute_start
         total_loss = 0.0
         stopped_early = False
+        stop_reason = "completed"
         iterations_run = 0
         for tau in range(1, ctx.iterations + 1):
             loss, t = self._run_iteration(client, opt, t)
@@ -188,18 +222,65 @@ class FedCA(Strategy):
                         t, client.layer_bytes[layer], label=f"eager:{layer}"
                     )
                     eager_iter[layer] = tau
-            if tau < ctx.iterations and stopper.should_stop(
-                tau, t - compute_start, ctx.deadline
-            ):
-                stopped_early = True
-                break
+            if tau < ctx.iterations:
+                decision = stopper.decide(tau, t - compute_start, ctx.deadline)
+                if trace is not None:
+                    trace.append(
+                        {
+                            "kind": "fedca.earlystop.eval",
+                            "sim_time": t,
+                            "fields": {
+                                "tau": decision.tau,
+                                "b": decision.benefit,
+                                "c": decision.cost,
+                                "n": decision.net,
+                                "elapsed": t - compute_start,
+                                "stop": decision.stop,
+                                "reason": decision.reason,
+                            },
+                        }
+                    )
+                if decision.stop:
+                    stopped_early = True
+                    stop_reason = decision.reason
+                    break
         compute_finish = t
+        if trace is not None:
+            trace.append(
+                {
+                    "kind": "fedca.earlystop.stop",
+                    "sim_time": compute_finish,
+                    "fields": {
+                        "tau": iterations_run,
+                        "reason": stop_reason,
+                        "early": stopped_early,
+                    },
+                }
+            )
 
         final_updates = client.local_update(global_state)
         retrans: list[str] = []
         if cfg.enable_retransmit and transmitted:
+            retrans_sink = None
+            if trace is not None:
+                def retrans_sink(layer: str, cos: float, deviated: bool) -> None:
+                    trace.append(
+                        {
+                            "kind": "fedca.retransmit",
+                            "sim_time": compute_finish,
+                            "fields": {
+                                "layer": layer,
+                                "cosine": float(cos),
+                                "deviated": bool(deviated),
+                                "bytes": client.layer_bytes[layer],
+                            },
+                        }
+                    )
             retrans = deviated_layers(
-                final_updates, transmitted, cfg.retransmit_threshold
+                final_updates,
+                transmitted,
+                cfg.retransmit_threshold,
+                sink=retrans_sink,
             )
         tail_layers = [
             name for name in client.layer_bytes if name not in transmitted
@@ -237,4 +318,5 @@ class FedCA(Strategy):
                 "retransmitted": retrans,
             },
             buffers=client.model.buffer_dict(),
+            trace=trace or [],
         )

@@ -3,6 +3,8 @@
 Usage (installed or via ``python -m repro.cli``):
 
     repro run --workload cnn --scheme fedca --rounds 20 --json out.json
+    repro run --workload cnn --scheme fedca --trace-file trace.jsonl \
+        --metrics-file metrics.prom
     repro compare --workload lstm --schemes fedavg fedada fedca
     repro reproduce --artifact table1 --models cnn lstm
     repro overhead --paper-arch
@@ -11,11 +13,18 @@ Usage (installed or via ``python -m repro.cli``):
 ``compare`` runs several schemes under identical conditions and prints the
 Table-1-style rows; ``reproduce`` regenerates one named paper artefact;
 ``overhead`` prints the §5.5 profiling-memory accounting.
+
+Telemetry: ``--trace-file`` streams the deterministic JSONL event trace,
+``--metrics-file`` dumps Prometheus-style counters/gauges, and either flag
+also prints the per-run summary table (see :mod:`repro.obs`). All output
+goes through the ``repro.*`` logging namespace, configured once here via
+``--log-level``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from .experiments import (
@@ -46,6 +55,15 @@ from .experiments import (
     run_table1,
 )
 from .experiments.runner import compare_schemes, run_scheme
+from .obs import (
+    LOG_LEVELS,
+    TraceRecorder,
+    configure_logging,
+    metrics_to_text,
+    summary_table,
+)
+
+logger = logging.getLogger("repro.cli")
 
 ARTIFACTS = {
     "fig1": (run_fig1, format_fig1),
@@ -69,6 +87,45 @@ _SINGLE_MODEL_ARTIFACTS = {"fig1", "fig4", "fig6", "fig8", "fig10"}
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", default="micro", choices=["micro", "small", "paper"])
     parser.add_argument("--seed", type=int, default=0)
+    _add_log_level(parser)
+
+
+def _add_log_level(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", default="info", choices=list(LOG_LEVELS),
+        help="verbosity of the repro.* logging namespace (default: info)")
+
+
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-file", metavar="PATH", default=None,
+        help="stream the structured telemetry trace to PATH as JSONL "
+             "(deterministic, simulated-time-keyed events)")
+    parser.add_argument(
+        "--metrics-file", metavar="PATH", default=None,
+        help="write Prometheus-style text metrics to PATH after the run")
+
+
+def _make_recorder(args: argparse.Namespace) -> TraceRecorder | None:
+    """A TraceRecorder when any telemetry flag is set, else None."""
+    if args.trace_file is None and args.metrics_file is None:
+        return None
+    return TraceRecorder(trace_path=args.trace_file)
+
+
+def _finish_telemetry(recorder: TraceRecorder | None, args: argparse.Namespace) -> None:
+    """Close the sink, write the metrics dump, print the summary table."""
+    if recorder is None:
+        return
+    recorder.close()
+    if args.trace_file:
+        logger.info("trace written to %s (%d events)",
+                    args.trace_file, recorder.num_events)
+    if args.metrics_file:
+        with open(args.metrics_file, "w") as fh:
+            fh.write(metrics_to_text(recorder))
+        logger.info("metrics written to %s", args.metrics_file)
+    logger.info("%s", summary_table(recorder))
 
 
 def _positive_int(value: str) -> int:
@@ -108,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the full round history as JSON")
     _add_common(p_run)
     _add_executor(p_run)
+    _add_telemetry(p_run)
 
     p_cmp = sub.add_parser("compare", help="run several schemes head-to-head")
     p_cmp.add_argument("--workload", required=True, choices=["cnn", "lstm", "wrn"])
@@ -116,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--rounds", type=int, default=None)
     _add_common(p_cmp)
     _add_executor(p_cmp)
+    _add_telemetry(p_cmp)
 
     p_rep = sub.add_parser("reproduce", help="regenerate one paper artefact")
     p_rep.add_argument("--artifact", required=True, choices=sorted(ARTIFACTS))
@@ -127,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ovh = sub.add_parser("overhead", help="§5.5 profiling-memory accounting")
     p_ovh.add_argument("--paper-arch", action="store_true")
     p_ovh.add_argument("--iterations", type=int, default=125)
+    _add_log_level(p_ovh)
 
     return parser
 
@@ -134,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_run(args: argparse.Namespace) -> int:
     """`repro run` — train one workload under one scheme."""
     cfg = get_workload(args.workload, args.scale)
+    recorder = _make_recorder(args)
     result = run_scheme(
         cfg,
         args.scheme,
@@ -141,30 +202,33 @@ def cmd_run(args: argparse.Namespace) -> int:
         stop_at_target=not args.no_target_stop,
         seed=args.seed,
         executor=_executor_spec(args),
+        recorder=recorder,
     )
     hist = result.history
     tta = hist.time_to_accuracy(cfg.target_accuracy)
-    print(
-        f"{result.scheme} on {args.workload} ({args.scale}): "
-        f"{hist.num_rounds} rounds, mean round {hist.mean_round_time():.2f}s, "
-        f"final acc {hist.final_accuracy:.3f}"
-        + (f", target {cfg.target_accuracy} in {tta[0]:.1f}s" if tta else "")
+    logger.info(
+        "%s on %s (%s): %d rounds, mean round %.2fs, final acc %.3f%s",
+        result.scheme, args.workload, args.scale,
+        hist.num_rounds, hist.mean_round_time(), hist.final_accuracy,
+        f", target {cfg.target_accuracy} in {tta[0]:.1f}s" if tta else "",
     )
     if args.json:
         from .runtime import history_to_json
 
         with open(args.json, "w") as fh:
             fh.write(history_to_json(hist, indent=2))
-        print(f"history written to {args.json}")
+        logger.info("history written to %s", args.json)
+    _finish_telemetry(recorder, args)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """`repro compare` — several schemes under identical conditions."""
     cfg = get_workload(args.workload, args.scale)
+    recorder = _make_recorder(args)
     results = compare_schemes(
         cfg, args.schemes, rounds=args.rounds, seed=args.seed,
-        executor=_executor_spec(args),
+        executor=_executor_spec(args), recorder=recorder,
     )
     rows = []
     for res in results:
@@ -178,13 +242,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 f"{res.history.final_accuracy:.3f}",
             ]
         )
-    print(
+    logger.info(
+        "%s",
         format_table(
             ["Scheme", "Per-round (s)", "# Rounds", "Total time (s)", "Final acc"],
             rows,
             title=f"{args.workload} ({args.scale}), target {cfg.target_accuracy}",
-        )
+        ),
     )
+    _finish_telemetry(recorder, args)
     return 0
 
 
@@ -205,20 +271,21 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         if args.rounds and args.artifact in ("fig8", "fig10"):
             kwargs["rounds"] = args.rounds
     # overhead takes neither models nor scale
-    print(fmt_fn(run_fn(**kwargs)))
+    logger.info("%s", fmt_fn(run_fn(**kwargs)))
     return 0
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
     """`repro overhead` — §5.5 profiling-memory accounting."""
-    print(format_overhead(run_overhead(paper_arch=args.paper_arch,
-                                       iterations=args.iterations)))
+    logger.info("%s", format_overhead(run_overhead(paper_arch=args.paper_arch,
+                                                   iterations=args.iterations)))
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "log_level", "info"))
     handlers = {
         "run": cmd_run,
         "compare": cmd_compare,

@@ -6,7 +6,7 @@ early stopping, and eager transmission with error feedback.
 
 from .config import FedCAConfig
 from .eager import EagerSchedule
-from .earlystop import EarlyStopPolicy
+from .earlystop import EarlyStopDecision, EarlyStopPolicy
 from .profiler import AnchorRecorder, ProfiledCurves, is_anchor_round
 from .progress import cosine_similarity, progress_curve, statistical_progress
 from .retransmit import deviated_layers, needs_retransmission
@@ -27,6 +27,7 @@ __all__ = [
     "marginal_cost",
     "net_benefit",
     "EarlyStopPolicy",
+    "EarlyStopDecision",
     "EagerSchedule",
     "needs_retransmission",
     "deviated_layers",

@@ -17,10 +17,15 @@ class EagerSchedule:
     retransmission check handles the latter.
     """
 
-    def __init__(self, curves: ProfiledCurves, threshold: float) -> None:
+    def __init__(
+        self, curves: ProfiledCurves, threshold: float, *, sink=None
+    ) -> None:
         if not 0 < threshold <= 1:
             raise ValueError("threshold must be in (0, 1]")
         self.threshold = threshold
+        #: Optional telemetry hook ``sink(layer, trigger_iteration, tau)``,
+        #: called once per layer the moment :meth:`due` hands it out.
+        self.sink = sink
         self.triggers: dict[str, int] = {}
         for name in curves.layer_curves:
             tau = curves.layer_trigger_iteration(name, threshold)
@@ -41,6 +46,8 @@ class EagerSchedule:
         ]
         for name in out:
             self._sent.add(name)
+            if self.sink is not None:
+                self.sink(name, self.triggers[name], tau)
         return out
 
     @property

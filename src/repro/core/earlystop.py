@@ -2,11 +2,33 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from .config import FedCAConfig
 from .profiler import ProfiledCurves
-from .utility import net_benefit
+from .utility import marginal_benefit, marginal_cost
 
-__all__ = ["EarlyStopPolicy"]
+__all__ = ["EarlyStopPolicy", "EarlyStopDecision"]
+
+
+@dataclass(frozen=True)
+class EarlyStopDecision:
+    """One ``TryEarlyStop`` evaluation, with the Eq. 2–4 terms exposed.
+
+    ``benefit``/``cost``/``net`` are the paper's ``b``, ``c`` and
+    ``n = b − c``; they are ``None`` when the decision short-circuited
+    before Eq. 4 was evaluated (see ``reason``). The telemetry layer
+    records these verbatim as ``fedca.earlystop.eval`` events.
+    """
+
+    stop: bool
+    tau: int
+    benefit: float | None
+    cost: float | None
+    net: float | None
+    #: Why: "disabled", "min_iterations", "curve_exhausted",
+    #: "net_benefit_negative" or "net_benefit_positive".
+    reason: str
 
 
 class EarlyStopPolicy:
@@ -25,8 +47,8 @@ class EarlyStopPolicy:
         self.curves = curves
         self.config = config
 
-    def should_stop(self, tau: int, elapsed: float, deadline: float) -> bool:
-        """True if the round should terminate after completing iteration τ.
+    def decide(self, tau: int, elapsed: float, deadline: float) -> EarlyStopDecision:
+        """Full ``TryEarlyStop`` evaluation after completing iteration τ.
 
         Per Eq. 4 the client stops as soon as the net benefit of the just
         completed iteration turns negative. Iterations below
@@ -36,11 +58,21 @@ class EarlyStopPolicy:
         if tau < 1:
             raise ValueError("tau must be >= 1")
         if not self.config.enable_early_stop:
-            return False
+            return EarlyStopDecision(False, tau, None, None, None, "disabled")
         if tau < self.config.min_local_iterations:
-            return False
+            return EarlyStopDecision(False, tau, None, None, None, "min_iterations")
         if tau >= self.curves.num_iterations:
-            return True
-        return (
-            net_benefit(self.curves, tau, elapsed, deadline, self.config.beta) < 0.0
+            return EarlyStopDecision(True, tau, None, None, None, "curve_exhausted")
+        b = marginal_benefit(self.curves, tau)
+        c = marginal_cost(elapsed, deadline, self.config.beta)
+        n = b - c
+        stop = n < 0.0
+        return EarlyStopDecision(
+            stop, tau, b, c, n,
+            "net_benefit_negative" if stop else "net_benefit_positive",
         )
+
+    def should_stop(self, tau: int, elapsed: float, deadline: float) -> bool:
+        """True if the round should terminate after completing iteration τ
+        (the boolean view of :meth:`decide`)."""
+        return self.decide(tau, elapsed, deadline).stop

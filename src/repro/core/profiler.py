@@ -100,6 +100,17 @@ class AnchorRecorder:
             sum(v.nbytes for v in snap.values()) for snap in self._snapshots
         )
 
+    def stats(self) -> dict[str, int]:
+        """Anchor-round profiling cost summary (telemetry: the
+        ``fedca.anchor`` event payload — §4.1 snapshots held, §5.5 bytes
+        and sampled-parameter counts)."""
+        return {
+            "iterations": self.num_recorded,
+            "profiling_bytes": self.memory_bytes(),
+            "sampled_scalars": self.sampler.total_sampled(),
+            "sampled_layers": len(self.sampler.indices),
+        }
+
     def finalize(self, round_index: int) -> ProfiledCurves:
         """Compute per-layer and whole-model curves from the snapshots."""
         if not self._snapshots:

@@ -244,11 +244,13 @@ def make_environment(
     seed: int = 0,
     dynamic: bool = True,
     executor=None,
+    recorder=None,
 ):
     """Assemble a :class:`~repro.runtime.FederatedSimulator` for a preset.
 
     ``executor`` selects the client-execution engine (``None``/``"serial"``,
-    ``"parallel[:N]"``, or an :class:`~repro.runtime.Executor` instance).
+    ``"parallel[:N]"``, or an :class:`~repro.runtime.Executor` instance);
+    ``recorder`` an optional :class:`~repro.obs.Recorder` telemetry sink.
     """
     from ..runtime import FederatedSimulator
 
@@ -269,4 +271,5 @@ def make_environment(
         gamma_slow=cfg.gamma_slow,
         seed=seed,
         executor=executor,
+        recorder=recorder,
     )

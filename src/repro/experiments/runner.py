@@ -50,6 +50,7 @@ def run_scheme(
     dynamic: bool = True,
     fedca_config: FedCAConfig | None = None,
     executor=None,
+    recorder=None,
 ) -> SchemeResult:
     """Train one workload under one scheme and return its history.
 
@@ -57,15 +58,29 @@ def run_scheme(
     workload's scale-adapted profiling period (see
     :class:`~repro.experiments.configs.WorkloadConfig.fedca_profile_every`).
     ``executor`` selects the client-execution engine (serial by default);
-    the resulting history is engine-independent.
+    the resulting history is engine-independent. ``recorder`` is an
+    optional :class:`~repro.obs.Recorder` telemetry sink; a single
+    recorder may be shared across runs (a ``run.start`` event marks each
+    scheme's stream).
     """
     if fedca_config is None and scheme.lower().startswith("fedca"):
         fedca_config = FedCAConfig(profile_every=cfg.fedca_profile_every)
     strategy = build_strategy(
         scheme, cfg.optimizer_spec(), fedca_config=fedca_config
     )
+    if recorder is not None and recorder.enabled:
+        recorder.emit(
+            "run.start",
+            sim_time=0.0,
+            scheme=strategy.name,
+            workload=cfg.name,
+            scale=cfg.scale,
+            seed=seed,
+            executor=str(executor or "serial"),
+        )
     sim = make_environment(
-        cfg, strategy, seed=seed, dynamic=dynamic, executor=executor
+        cfg, strategy, seed=seed, dynamic=dynamic, executor=executor,
+        recorder=recorder,
     )
     try:
         history = sim.run(
@@ -92,6 +107,7 @@ def compare_schemes(
     dynamic: bool = True,
     fedca_config: FedCAConfig | None = None,
     executor=None,
+    recorder=None,
 ) -> list[SchemeResult]:
     """Run several schemes under identical data/system conditions."""
     return [
@@ -104,6 +120,7 @@ def compare_schemes(
             dynamic=dynamic,
             fedca_config=fedca_config,
             executor=executor,
+            recorder=recorder,
         )
         for scheme in schemes
     ]

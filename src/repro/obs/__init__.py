@@ -1,0 +1,47 @@
+"""``repro.obs`` — runtime telemetry: structured tracing, metrics, logging.
+
+The observability substrate every layer reports through (DESIGN.md §9):
+
+* :class:`Recorder` / :class:`NullRecorder` / :class:`TraceRecorder` —
+  the sink protocol, the zero-overhead default, and the bounded-ring
+  implementation with a streaming JSONL sink.
+* :mod:`repro.obs.events` — the deterministic, simulated-time event schema.
+* :mod:`repro.obs.export` — JSONL / Prometheus-text / summary-table dumps.
+* :mod:`repro.obs.analysis` — Fig. 8-style reconstructions from a trace.
+* :func:`configure_logging` — the single ``repro.*`` logging entry point.
+"""
+
+from .analysis import (
+    client_iteration_counts,
+    eager_iterations,
+    early_stop_iterations,
+)
+from .events import EVENT_KINDS, TraceEvent
+from .export import (
+    events_to_jsonl,
+    metrics_to_text,
+    summary_table,
+    write_metrics_text,
+    write_trace_jsonl,
+)
+from .logsetup import LOG_LEVELS, configure_logging
+from .recorder import NULL_RECORDER, NullRecorder, Recorder, TraceRecorder
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "TraceRecorder",
+    "NULL_RECORDER",
+    "TraceEvent",
+    "EVENT_KINDS",
+    "events_to_jsonl",
+    "write_trace_jsonl",
+    "metrics_to_text",
+    "write_metrics_text",
+    "summary_table",
+    "early_stop_iterations",
+    "eager_iterations",
+    "client_iteration_counts",
+    "configure_logging",
+    "LOG_LEVELS",
+]

@@ -1,0 +1,79 @@
+"""Trace-only reconstructions of the paper's per-client analyses.
+
+These helpers consume a trace (a list of :class:`~repro.obs.events.
+TraceEvent` or their ``as_dict`` forms) and rebuild the Fig. 8-style
+decision distributions without touching the
+:class:`~repro.runtime.history.RunHistory` — the acceptance check that the
+telemetry layer captures *why* each client stopped/transmitted, not just
+end-of-round summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = [
+    "early_stop_iterations",
+    "eager_iterations",
+    "client_iteration_counts",
+]
+
+
+def _as_dicts(events: Iterable[Any]) -> list[dict[str, Any]]:
+    return [e.as_dict() if hasattr(e, "as_dict") else e for e in events]
+
+
+def early_stop_iterations(events: Iterable[Any]) -> list[int]:
+    """Early-stop trigger iterations across rounds/clients (Fig. 8a).
+
+    Matches :meth:`repro.runtime.history.RunHistory.early_stop_iterations`
+    when reconstructed from the same run's trace.
+    """
+    return [
+        int(e["fields"]["tau"])
+        for e in _as_dicts(events)
+        if e["kind"] == "fedca.earlystop.stop" and e["fields"]["early"]
+    ]
+
+
+def eager_iterations(events: Iterable[Any], *, effective: bool) -> list[int]:
+    """Eager-transmission trigger iterations per layer (Fig. 8b).
+
+    With ``effective=True`` a retransmitted layer counts at the round's
+    final iteration (the paper's "w/ retransmission" CDF); matches
+    :meth:`repro.runtime.history.RunHistory.eager_iterations`.
+    """
+    dicts = _as_dicts(events)
+    final_iters = {
+        (e["round"], e["client"]): int(e["fields"]["iterations_run"])
+        for e in dicts
+        if e["kind"] == "client.round"
+    }
+    retransmitted = {
+        (e["round"], e["client"], e["fields"]["layer"])
+        for e in dicts
+        if e["kind"] == "fedca.retransmit" and e["fields"]["deviated"]
+    }
+    out: list[int] = []
+    for e in dicts:
+        if e["kind"] != "fedca.eager":
+            continue
+        key = (e["round"], e["client"])
+        tau = int(e["fields"]["tau"])
+        if effective and (*key, e["fields"]["layer"]) in retransmitted:
+            out.append(final_iters.get(key, tau))
+        else:
+            out.append(tau)
+    return out
+
+
+def client_iteration_counts(events: Iterable[Any]) -> dict[int, list[int]]:
+    """Per-client executed-iteration counts, one entry per round the client
+    ran (anchor rounds included) — the raw series behind Fig. 8's CDFs."""
+    out: dict[int, list[int]] = {}
+    for e in _as_dicts(events):
+        if e["kind"] == "client.round":
+            out.setdefault(int(e["client"]), []).append(
+                int(e["fields"]["iterations_run"])
+            )
+    return out

@@ -1,0 +1,88 @@
+"""Trace/metrics exporters: JSONL, Prometheus-style text, summary table.
+
+The JSONL sink streams during the run (see
+:class:`~repro.obs.recorder.TraceRecorder`); the functions here export a
+finished recorder's state after the fact — CI jobs and the CLI use them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .recorder import TraceRecorder
+
+__all__ = [
+    "events_to_jsonl",
+    "write_trace_jsonl",
+    "metrics_to_text",
+    "write_metrics_text",
+    "summary_table",
+]
+
+#: Metric-name → Prometheus type, inferred from the conventional suffix.
+_COUNTER_SUFFIX = "_total"
+
+
+def events_to_jsonl(recorder, *, drop_wall_clock: bool = True) -> str:
+    """The ring's events as one JSON object per line (oldest first).
+
+    Accepts a :class:`~repro.obs.recorder.TraceRecorder` or any iterable
+    of :class:`~repro.obs.events.TraceEvent`.
+    """
+    events = recorder.events() if hasattr(recorder, "events") else recorder
+    return "".join(
+        json.dumps(e.as_dict(drop_wall_clock=drop_wall_clock), sort_keys=True) + "\n"
+        for e in events
+    )
+
+
+def write_trace_jsonl(recorder: "TraceRecorder", path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(events_to_jsonl(recorder))
+
+
+def metrics_to_text(recorder: "TraceRecorder") -> str:
+    """Prometheus-style text exposition of the counters and gauges.
+
+    Names are sorted so the dump is deterministic; counters follow the
+    ``*_total`` naming convention and are typed accordingly.
+    """
+    lines: list[str] = []
+    for name in sorted(recorder.counters):
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(recorder.counters[name])}")
+    for name in sorted(recorder.gauges):
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(recorder.gauges[name])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+def write_metrics_text(recorder: "TraceRecorder", path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(metrics_to_text(recorder))
+
+
+def summary_table(recorder: "TraceRecorder") -> str:
+    """Fixed-width per-run summary of every counter and gauge."""
+    rows = [("metric", "type", "value")]
+    for name in sorted(recorder.counters):
+        rows.append((name, "counter", _fmt(recorder.counters[name])))
+    for name in sorted(recorder.gauges):
+        rows.append((name, "gauge", _fmt(recorder.gauges[name])))
+    rows.append(
+        ("trace_events", "info", f"{recorder.num_events} "
+         f"({recorder.dropped_events} dropped from ring)")
+    )
+    widths = [max(len(r[i]) for r in rows) for i in range(3)]
+    lines = ["Telemetry summary"]
+    for j, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""One-stop logging configuration for the ``repro.*`` logger namespace.
+
+Library modules obtain loggers with ``logging.getLogger("repro.<mod>")``
+and never configure handlers themselves; the CLI (or an embedding
+application) calls :func:`configure_logging` exactly once per invocation.
+Default format is the bare message on stdout so CLI output is unchanged
+from the historical ``print`` behaviour; ``debug`` level switches to a
+prefixed format for diagnosis.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging", "LOG_LEVELS"]
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def configure_logging(level: str = "info") -> logging.Logger:
+    """(Re)configure the ``repro`` root logger and return it.
+
+    Idempotent per call: existing handlers are replaced, so repeated CLI
+    invocations in one process (tests) don't stack duplicate output. The
+    handler binds the *current* ``sys.stdout`` so capture fixtures work.
+    """
+    key = level.strip().lower()
+    if key not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LOG_LEVELS}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, key.upper()))
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stdout)
+    fmt = "%(message)s" if key != "debug" else "%(levelname)s %(name)s: %(message)s"
+    handler.setFormatter(logging.Formatter(fmt))
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,258 @@
+"""Recorder protocol and the two shipped implementations.
+
+* :class:`NullRecorder` — the default. Every method is a no-op and
+  ``enabled`` is False, so instrumentation sites cost one attribute check
+  (or one no-op call) per event; ``run()`` histories are bitwise identical
+  to an uninstrumented build.
+* :class:`TraceRecorder` — bounded in-memory ring of
+  :class:`~repro.obs.events.TraceEvent` plus a counters/gauges registry,
+  with an optional streaming JSONL sink.
+
+Determinism contract
+--------------------
+All events are keyed on simulated time. Client-side events produced inside
+:class:`~repro.runtime.parallel.ParallelExecutor` workers travel back to
+the parent on the ``trace`` field of each
+:class:`~repro.runtime.round.ClientRoundResult`; the simulator merges them
+via :meth:`Recorder.merge_client_trace` in job order (sorted client ids),
+so the sequence numbers — and therefore the whole trace — are identical
+for serial and parallel executions of the same run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Iterable
+
+from .events import TraceEvent
+
+__all__ = ["Recorder", "NullRecorder", "TraceRecorder", "NULL_RECORDER"]
+
+
+class Recorder:
+    """Telemetry sink interface (also usable as a structural protocol).
+
+    Subclasses override the methods they care about; the base class is a
+    complete no-op so custom recorders only implement what they need.
+    """
+
+    #: Fast guard for instrumentation sites: skip event *construction*
+    #: entirely when nothing is listening.
+    enabled: bool = False
+
+    # -- events --------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        *,
+        sim_time: float,
+        round_index: int | None = None,
+        client_id: int | None = None,
+        **fields: Any,
+    ) -> None:
+        """Record one structured event at a simulated-time instant."""
+
+    def span(
+        self,
+        kind: str,
+        *,
+        sim_start: float,
+        sim_end: float,
+        round_index: int | None = None,
+        client_id: int | None = None,
+        **fields: Any,
+    ) -> None:
+        """Record an interval event: an ``emit`` at ``sim_start`` carrying
+        the span's ``duration`` (``sim_end − sim_start``)."""
+
+    def merge_client_trace(
+        self,
+        round_index: int,
+        client_id: int,
+        trace: Iterable[dict[str, Any]] | None,
+    ) -> None:
+        """Fold a client round's buffered events (``{"kind", "sim_time",
+        "fields"}`` dicts, possibly produced in a worker process) into this
+        recorder, stamping round/client ids and sequence numbers."""
+
+    # -- metrics -------------------------------------------------------
+    def counter(self, name: str, inc: float = 1) -> None:
+        """Add ``inc`` to a monotonically increasing counter."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge."""
+
+    # -- lifecycle -----------------------------------------------------
+    def flush(self) -> None:
+        """Flush any buffered sink output."""
+
+    def close(self) -> None:
+        """Flush and release sink resources. Idempotent."""
+
+    def __enter__(self) -> "Recorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullRecorder(Recorder):
+    """The default sink: drops everything, costs (almost) nothing."""
+
+    enabled = False
+
+
+#: Shared default instance — stateless, safe to reuse across simulators.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(Recorder):
+    """In-memory ring buffer + metrics registry + optional JSONL sink.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; the oldest events fall off first (``dropped_events``
+        counts them). The JSONL sink, if any, still receives every event.
+    trace_path:
+        Stream every event to this file as one JSON object per line.
+    wall_clock:
+        Also stamp events with ``time.monotonic()``. Off by default so
+        traces are reproducible byte-for-byte; determinism tests compare
+        with wall-clock fields dropped.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 100_000,
+        trace_path: str | None = None,
+        wall_clock: bool = False,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.wall_clock = wall_clock
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped_events = 0
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._trace_path = trace_path
+        self._sink = open(trace_path, "w") if trace_path else None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        kind: str,
+        sim_time: float,
+        round_index: int | None,
+        client_id: int | None,
+        fields: dict[str, Any],
+    ) -> None:
+        event = TraceEvent(
+            seq=self._seq,
+            kind=kind,
+            sim_time=float(sim_time),
+            round_index=round_index,
+            client_id=client_id,
+            fields=fields,
+            wall_time=time.monotonic() if self.wall_clock else None,
+        )
+        self._seq += 1
+        if len(self._ring) == self.capacity:
+            self.dropped_events += 1
+        self._ring.append(event)
+        if self._sink is not None:
+            self._sink.write(
+                json.dumps(
+                    event.as_dict(drop_wall_clock=not self.wall_clock),
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+
+    def emit(
+        self,
+        kind: str,
+        *,
+        sim_time: float,
+        round_index: int | None = None,
+        client_id: int | None = None,
+        **fields: Any,
+    ) -> None:
+        self._record(kind, sim_time, round_index, client_id, fields)
+
+    def span(
+        self,
+        kind: str,
+        *,
+        sim_start: float,
+        sim_end: float,
+        round_index: int | None = None,
+        client_id: int | None = None,
+        **fields: Any,
+    ) -> None:
+        fields["duration"] = float(sim_end) - float(sim_start)
+        self._record(kind, sim_start, round_index, client_id, fields)
+
+    def merge_client_trace(
+        self,
+        round_index: int,
+        client_id: int,
+        trace: Iterable[dict[str, Any]] | None,
+    ) -> None:
+        if not trace:
+            return
+        for raw in trace:
+            self._record(
+                raw["kind"],
+                raw["sim_time"],
+                round_index,
+                client_id,
+                raw.get("fields", {}),
+            )
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, inc: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + inc
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        """Total events recorded (including any dropped from the ring)."""
+        return self._seq
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Events currently in the ring, optionally filtered by kind."""
+        if kind is None:
+            return list(self._ring)
+        return [e for e in self._ring if e.kind == kind]
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._sink is not None:
+            self._sink.flush()
+            self._sink.close()
+            self._sink = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

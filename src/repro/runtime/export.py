@@ -12,6 +12,8 @@ import io
 import json
 from typing import Any
 
+import numpy as np
+
 from .history import RoundRecord, RunHistory
 
 __all__ = ["history_to_dict", "history_to_json", "history_to_csv", "history_from_dict"]
@@ -56,20 +58,26 @@ def history_to_dict(history: RunHistory) -> dict[str, Any]:
     }
 
 
-def _jsonable(events: dict[str, Any]) -> dict[str, Any]:
-    out: dict[str, Any] = {}
-    for key, value in events.items():
-        if isinstance(value, dict):
-            out[key] = {str(k): _scalar(v) for k, v in value.items()}
-        elif isinstance(value, (list, tuple, set)):
-            out[key] = [_scalar(v) for v in value]
-        else:
-            out[key] = _scalar(value)
-    return out
+def _jsonable(value: Any) -> Any:
+    """Recursively convert an event payload to JSON-safe plain data.
+
+    Handles numpy scalars (``np.int64``/``np.float32``/``np.bool_``),
+    0-d and n-d arrays, and arbitrarily nested dict/list/tuple/set
+    containers; dict keys are stringified (numpy ints included).
+    """
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    return _scalar(value)
 
 
 def _scalar(v: Any) -> Any:
-    if hasattr(v, "item"):
+    if isinstance(v, np.ndarray):
+        # .item() only works for single-element arrays; .tolist() round-trips
+        # any shape (a 0-d array becomes its scalar).
+        return v.tolist()
+    if isinstance(v, np.generic) or hasattr(v, "item"):
         return v.item()
     return v
 
@@ -78,26 +86,37 @@ def history_to_json(history: RunHistory, *, indent: int | None = None) -> str:
     return json.dumps(history_to_dict(history), indent=indent)
 
 
-def history_to_csv(history: RunHistory) -> str:
-    """One row per round; summary columns only (events stay in JSON)."""
+def history_to_csv(history: RunHistory, *, include_events: bool = False) -> str:
+    """One row per round; summary columns by default.
+
+    With ``include_events=True`` a final ``client_events`` column carries
+    each round's per-client event dict as compact JSON. Event values
+    routinely contain commas (layer lists, nested dicts); the ``csv``
+    writer quotes the cell, so the column round-trips through any
+    RFC-4180 reader — see ``tests/test_export.py``.
+    """
+    fields = _CSV_FIELDS + ["client_events"] if include_events else _CSV_FIELDS
     buf = io.StringIO()
-    writer = csv.DictWriter(buf, fieldnames=_CSV_FIELDS)
+    writer = csv.DictWriter(buf, fieldnames=fields)
     writer.writeheader()
     for r in history.records:
-        writer.writerow(
-            {
-                "round_index": r.round_index,
-                "start_time": r.start_time,
-                "end_time": r.end_time,
-                "duration": r.duration,
-                "accuracy": r.accuracy,
-                "mean_loss": r.mean_loss,
-                "mean_iterations": r.mean_iterations,
-                "total_bytes": r.total_bytes,
-                "num_collected": len(r.collected_clients),
-                "num_stragglers": len(r.straggler_clients),
-            }
-        )
+        row = {
+            "round_index": r.round_index,
+            "start_time": r.start_time,
+            "end_time": r.end_time,
+            "duration": r.duration,
+            "accuracy": r.accuracy,
+            "mean_loss": r.mean_loss,
+            "mean_iterations": r.mean_iterations,
+            "total_bytes": r.total_bytes,
+            "num_collected": len(r.collected_clients),
+            "num_stragglers": len(r.straggler_clients),
+        }
+        if include_events:
+            row["client_events"] = json.dumps(
+                _jsonable(r.client_events), separators=(",", ":")
+            )
+        writer.writerow(row)
     return buf.getvalue()
 
 

@@ -22,6 +22,14 @@ evolved serially. Results are reassembled in the simulator's job order
 **bitwise-identical** :class:`~repro.runtime.history.RunHistory` objects;
 ``tests/test_executor.py`` asserts this for FedAvg and FedCA.
 
+Telemetry events recorded inside a worker (FedCA decision introspection,
+see :mod:`repro.obs`) ride back on the ``trace`` field of each
+:class:`~repro.runtime.round.ClientRoundResult` — simulated-time-keyed
+dicts, no live recorder handles cross the process boundary. The simulator
+merges them into the parent recorder in job order, so the trace stream is
+byte-identical to a serial run's (also asserted in
+``tests/test_executor.py``).
+
 Fallback
 --------
 * Platforms without the ``fork`` start method get a transparent

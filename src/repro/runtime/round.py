@@ -20,6 +20,9 @@ class RoundContext:
     ``t_{R,τ}`` convention in Eq. 3. ``iterations`` is the default local
     iteration count K; ``assigned_iterations`` is a server-side override
     (FedAda's workload adjustment), None for autonomous/default schemes.
+    ``trace_enabled`` tells the strategy whether the simulator's recorder
+    is listening — when set, decision events are buffered onto the result's
+    ``trace`` and merged into the parent recorder (see :mod:`repro.obs`).
     """
 
     round_index: int
@@ -27,6 +30,7 @@ class RoundContext:
     iterations: int
     deadline: float
     assigned_iterations: int | None = None
+    trace_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.round_index < 0:
@@ -67,6 +71,11 @@ class ClientRoundResult:
     # Non-trainable state (BatchNorm running statistics) reported alongside
     # the update; empty for buffer-free models.
     buffers: dict[str, np.ndarray] = field(default_factory=dict)
+    # Buffered telemetry events (``{"kind", "sim_time", "fields"}`` dicts)
+    # recorded during the client round — possibly in a worker process — and
+    # merged into the parent recorder in client-id order. Empty unless the
+    # round context had ``trace_enabled`` set.
+    trace: list[dict[str, Any]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.iterations_run < 0:

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..data import Dataset
 from ..nn import Module, accuracy
+from ..obs import NULL_RECORDER, Recorder
 from ..sysmodel import DropoutModel, LinkModel, SpeedTrace, select_deadline
 from .aggregation import (
     aggregate_buffers,
@@ -71,6 +72,13 @@ class FederatedSimulator:
         :class:`~repro.runtime.executor.Executor` instance. Engines only
         change wall-clock time; the produced history is identical (see
         :mod:`repro.runtime.parallel`).
+    recorder:
+        Telemetry sink (see :mod:`repro.obs`). ``None`` (default) means
+        the shared :data:`~repro.obs.NULL_RECORDER`: every hook is a
+        no-op and the run is bitwise identical to an uninstrumented one.
+        A :class:`~repro.obs.TraceRecorder` captures round/client spans,
+        FedCA decision events and run metrics keyed on simulated time;
+        the trace is executor-independent.
     """
 
     def __init__(
@@ -95,6 +103,7 @@ class FederatedSimulator:
         seed: int = 0,
         eval_batch: int = 512,
         executor: "Executor | str | None" = None,
+        recorder: Recorder | None = None,
     ) -> None:
         if len(shards) != len(base_iteration_times):
             raise ValueError("need one base iteration time per client shard")
@@ -155,6 +164,17 @@ class FederatedSimulator:
         self.dropout = DropoutModel(dropout_rate, seed=seed)
         self.time = 0.0
         self.history = RunHistory()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        if self.recorder.enabled:
+            for c in self.clients:
+                self.recorder.emit(
+                    "run.client_meta",
+                    sim_time=0.0,
+                    client_id=c.client_id,
+                    num_samples=c.num_samples,
+                    model_bytes=c.model_bytes,
+                    base_pace=c.trace.base_iteration_time,
+                )
         # The executor must bind while the clients are still in their
         # initial seeded state (ParallelExecutor forks replicas from here).
         self.executor = resolve_executor(executor)
@@ -206,11 +226,31 @@ class FederatedSimulator:
             est_compute, min_fraction=self.deadline_min_fraction
         )
         budgets = self.strategy.prepare_round(self, selected, deadline, round_index)
+        rec = self.recorder
+        tracing = rec.enabled
+        if tracing:
+            rec.emit(
+                "round.start",
+                sim_time=self.time,
+                round_index=round_index,
+                selected=list(selected),
+                num_selected=len(selected),
+                deadline=deadline,
+            )
 
         # Failure injection: dropped clients never report back this round
         # (paper §3.1 — device leaves mid-round). If everyone drops, the
         # round stalls until the deadline and contributes nothing.
         dropped = self.dropout.dropped(round_index, selected)
+        if tracing:
+            for cid in sorted(dropped):
+                rec.emit(
+                    "client.dropped",
+                    sim_time=self.time,
+                    round_index=round_index,
+                    client_id=cid,
+                )
+                rec.counter("repro_dropped_clients_total")
         survivors = [cid for cid in selected if cid not in dropped]
         if not survivors:
             acc = self.evaluate()
@@ -228,6 +268,13 @@ class FederatedSimulator:
             )
             self.history.append(record)
             self.time = record.end_time
+            if tracing:
+                rec.emit(
+                    "round.all_dropped",
+                    sim_time=record.start_time,
+                    round_index=round_index,
+                )
+                self._emit_round_end(record)
             return record
 
         jobs = [
@@ -239,6 +286,7 @@ class FederatedSimulator:
                     iterations=self.local_iterations,
                     deadline=deadline,
                     assigned_iterations=None if budgets is None else budgets.get(cid),
+                    trace_enabled=tracing,
                 ),
             )
             for cid in survivors
@@ -262,6 +310,42 @@ class FederatedSimulator:
 
         acc = self.evaluate()
         collected_ids = tuple(r.client_id for r in collected)
+        if tracing:
+            # Results arrive in job order (sorted client ids) regardless of
+            # the executor, so merging here keeps the trace deterministic —
+            # the telemetry mirror of PR 1's bitwise-identical-history
+            # guarantee.
+            collected_set = set(collected_ids)
+            for r in results:
+                rec.merge_client_trace(round_index, r.client_id, r.trace)
+                rec.span(
+                    "client.round",
+                    sim_start=r.compute_start_time,
+                    sim_end=r.upload_finish_time,
+                    round_index=round_index,
+                    client_id=r.client_id,
+                    compute_start=r.compute_start_time,
+                    compute_finish=r.compute_finish_time,
+                    upload_finish=r.upload_finish_time,
+                    iterations_run=r.iterations_run,
+                    bytes_uploaded=r.bytes_uploaded,
+                    mean_loss=r.mean_loss,
+                    collected=r.client_id in collected_set,
+                )
+                rec.counter("repro_client_rounds_total")
+                rec.counter("repro_iterations_total", r.iterations_run)
+                rec.counter("repro_bytes_uploaded_total", r.bytes_uploaded)
+                ev = r.events
+                if ev.get("anchor"):
+                    rec.counter("repro_anchor_rounds_total")
+                if ev.get("early_stop_iteration") is not None:
+                    rec.counter("repro_early_stops_total")
+                eager = ev.get("eager")
+                if eager:
+                    rec.counter("repro_eager_transmits_total", len(eager))
+                retrans = ev.get("retransmitted")
+                if retrans:
+                    rec.counter("repro_retransmissions_total", len(retrans))
         record = RoundRecord(
             round_index=round_index,
             start_time=self.time,
@@ -279,7 +363,29 @@ class FederatedSimulator:
         )
         self.history.append(record)
         self.time = round_end
+        if tracing:
+            self._emit_round_end(record)
         return record
+
+    # ------------------------------------------------------------------
+    def _emit_round_end(self, record: RoundRecord) -> None:
+        """Round-summary event plus run-level counters and gauges."""
+        rec = self.recorder
+        rec.emit(
+            "round.end",
+            sim_time=record.end_time,
+            round_index=record.round_index,
+            accuracy=record.accuracy,
+            mean_loss=record.mean_loss,
+            num_collected=len(record.collected_clients),
+            num_stragglers=len(record.straggler_clients),
+            total_bytes=record.total_bytes,
+            duration=record.duration,
+        )
+        rec.counter("repro_rounds_total")
+        rec.gauge("repro_sim_time_seconds", record.end_time)
+        rec.gauge("repro_round_accuracy", record.accuracy)
+        rec.gauge("repro_round_mean_loss", record.mean_loss)
 
     # ------------------------------------------------------------------
     def run(

@@ -137,6 +137,85 @@ class TestSerialParallelEquivalence:
         assert history_fingerprint(hist) == history_fingerprint(ref)
 
 
+class TestTraceDeterminism:
+    """Telemetry event streams must be engine-independent (PR 2).
+
+    The JSONL-serialized trace — every event, in order — has to come out
+    byte-identical for serial and parallel engines; otherwise traces are
+    useless as a cross-engine debugging baseline.
+    """
+
+    @staticmethod
+    def run_traced(env_data, scheme, executor, *, wall_clock=False):
+        from repro.obs import TraceRecorder, events_to_jsonl
+
+        rec = TraceRecorder(wall_clock=wall_clock)
+        with make_sim(env_data, scheme, executor=executor, recorder=rec) as sim:
+            hist = sim.run(4)
+        rec.close()
+        return hist, events_to_jsonl(rec.events()), rec
+
+    @needs_fork
+    @pytest.mark.parametrize("scheme", ["fedavg", "fedca"])
+    def test_identical_jsonl_streams(self, env_data, scheme):
+        hist_s, jsonl_s, _ = self.run_traced(env_data, scheme, "serial")
+        hist_p, jsonl_p, _ = self.run_traced(env_data, scheme, "parallel:4")
+        assert history_fingerprint(hist_s) == history_fingerprint(hist_p)
+        assert jsonl_s == jsonl_p
+        assert jsonl_s  # non-vacuous: the trace actually has events
+
+    @needs_fork
+    def test_identical_modulo_wall_clock(self, env_data):
+        # With wall-clock stamping on, the streams still match once the
+        # (engine-dependent) wall_time field is dropped.
+        import json
+
+        _, _, rec_s = self.run_traced(
+            env_data, "fedca", "serial", wall_clock=True
+        )
+        _, _, rec_p = self.run_traced(
+            env_data, "fedca", "parallel:4", wall_clock=True
+        )
+
+        def stripped(rec):
+            rows = []
+            for ev in rec.events():
+                d = ev.as_dict(drop_wall_clock=False)
+                assert d.pop("wall_time", None) is not None
+                rows.append(json.dumps(d, sort_keys=True))
+            return rows
+
+        assert stripped(rec_s) == stripped(rec_p)
+
+    def test_tracing_leaves_history_bitwise_identical(self, env_data):
+        from repro.obs import TraceRecorder
+
+        ref = make_sim(env_data, "fedca", executor="serial").run(4)
+        rec = TraceRecorder()
+        traced = make_sim(
+            env_data, "fedca", executor="serial", recorder=rec
+        ).run(4)
+        assert history_fingerprint(traced) == history_fingerprint(ref)
+
+    def test_counters_match_history(self, env_data):
+        from repro.obs import TraceRecorder
+
+        rec = TraceRecorder()
+        hist = make_sim(
+            env_data, "fedavg", executor="serial", recorder=rec
+        ).run(3)
+        assert rec.counters["repro_rounds_total"] == 3
+        total_iters = sum(
+            ev["iterations_run"]
+            for r in hist.records
+            for ev in r.client_events.values()
+        )
+        assert rec.counters["repro_iterations_total"] == total_iters
+        assert rec.counters["repro_bytes_uploaded_total"] == sum(
+            r.total_bytes for r in hist.records
+        )
+
+
 class TestParallelLifecycle:
     @needs_fork
     def test_workers_persist_across_rounds(self, env_data):

@@ -84,6 +84,32 @@ class TestExport:
         assert float(rows[0]["duration"]) == 2.5
         assert rows[1]["num_collected"] == "2"
 
+    def test_numpy_arrays_and_nesting_roundtrip(self):
+        h = sample_history()
+        h.records[0].client_events[0]["grad_norms"] = np.array([1.5, 2.5])
+        h.records[0].client_events[0]["zero_d"] = np.array(3.0)
+        h.records[0].client_events[0]["nested"] = {
+            np.int64(4): (np.float32(0.5), {np.bool_(True)})
+        }
+        data = json.loads(history_to_json(h))
+        ev = data["records"][0]["client_events"]["0"]
+        assert ev["grad_norms"] == [1.5, 2.5]
+        assert ev["zero_d"] == 3.0
+        assert ev["nested"] == {"4": [0.5, [True]]}
+
+    def test_csv_client_events_column_escapes_commas(self):
+        h = sample_history()
+        text = history_to_csv(h, include_events=True)
+        # The JSON cell is full of commas; the reader must still see exactly
+        # the declared columns, with the events column round-tripping.
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        events = json.loads(rows[0]["client_events"])
+        assert events["0"]["iterations_run"] == 8
+        assert events["0"]["eager"] == {"conv1.weight": 3}
+        assert json.loads(rows[1]["client_events"]) == {}
+        assert "client_events" not in history_to_csv(h).splitlines()[0]
+
     def test_empty_history(self):
         h = RunHistory()
         assert history_to_dict(h)["records"] == []
