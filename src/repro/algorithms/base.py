@@ -87,6 +87,23 @@ class Strategy(ABC):
         """Execute one client's round."""
 
     # ------------------------------------------------------------------
+    # Checkpoint/resume hooks (see repro.persist). Strategies that keep
+    # per-client state across rounds — FedCA's anchor-profiled curves, the
+    # compressed baselines' error-feedback residuals — override both so
+    # that a resumed run is indistinguishable from an uninterrupted one.
+    # Snapshots must be JSON-safe apart from numpy arrays, and are keyed by
+    # client id so ParallelExecutor can merge per-worker captures.
+    # ------------------------------------------------------------------
+    def capture_client_states(
+        self, client_ids: list[int] | None = None
+    ) -> dict[int, dict]:
+        """Per-client cross-round state, keyed by client id (default: none)."""
+        return {}
+
+    def restore_client_states(self, states: dict[int, dict]) -> None:
+        """Inverse of :meth:`capture_client_states` (default: no-op)."""
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _finish_upload(
         client: SimClient, compute_start: float, compute_finish: float

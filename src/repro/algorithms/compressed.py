@@ -51,6 +51,23 @@ class CompressedFedAvg(FedAvg):
     ) -> tuple[dict[str, np.ndarray], int]:
         return self._codec_for(client.client_id).encode(update)
 
+    # -- checkpoint/resume hooks (see repro.persist) -------------------
+    def capture_client_states(
+        self, client_ids: list[int] | None = None
+    ) -> dict[int, dict]:
+        """Per-client codec state: top-k error-feedback residuals, QSGD
+        RNG stream positions."""
+        ids = (
+            sorted(self._codecs)
+            if client_ids is None
+            else [cid for cid in client_ids if cid in self._codecs]
+        )
+        return {cid: self._codecs[cid].snapshot_state() for cid in ids}
+
+    def restore_client_states(self, states: dict[int, dict]) -> None:
+        for cid, snapshot in states.items():
+            self._codec_for(int(cid)).restore_state(snapshot)
+
 
 def fedavg_quantized(optimizer: OptimizerSpec, *, bits: int = 8) -> CompressedFedAvg:
     """FedAvg + QSGD quantization (paper ref. [4])."""

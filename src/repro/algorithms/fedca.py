@@ -78,6 +78,43 @@ class FedCA(Strategy):
         return sampler
 
     # ------------------------------------------------------------------
+    def capture_client_states(
+        self, client_ids: list[int] | None = None
+    ) -> dict[int, dict]:
+        """Anchor-profiled curves per client (the only FedCA state that
+        survives a round). Samplers are deterministic in ``sampler_seed``
+        and rebuilt lazily, so they need no capture."""
+        ids = (
+            sorted(self._curves)
+            if client_ids is None
+            else [cid for cid in client_ids if cid in self._curves]
+        )
+        out: dict[int, dict] = {}
+        for cid in ids:
+            curves = self._curves[cid]
+            out[cid] = {
+                "round_index": curves.round_index,
+                "num_iterations": curves.num_iterations,
+                "model_curve": curves.model_curve.copy(),
+                "layer_curves": {
+                    name: arr.copy() for name, arr in curves.layer_curves.items()
+                },
+            }
+        return out
+
+    def restore_client_states(self, states: dict[int, dict]) -> None:
+        for cid, payload in states.items():
+            self._curves[int(cid)] = ProfiledCurves(
+                round_index=int(payload["round_index"]),
+                num_iterations=int(payload["num_iterations"]),
+                layer_curves={
+                    name: np.asarray(arr, dtype=np.float64)
+                    for name, arr in payload["layer_curves"].items()
+                },
+                model_curve=np.asarray(payload["model_curve"], dtype=np.float64),
+            )
+
+    # ------------------------------------------------------------------
     def client_round(
         self,
         client: SimClient,

@@ -106,11 +106,18 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
         help="write Prometheus-style text metrics to PATH after the run")
 
 
-def _make_recorder(args: argparse.Namespace) -> TraceRecorder | None:
-    """A TraceRecorder when any telemetry flag is set, else None."""
+def _make_recorder(
+    args: argparse.Namespace, *, resuming: bool = False
+) -> TraceRecorder | None:
+    """A TraceRecorder when any telemetry flag is set, else None.
+
+    When resuming, the sink stays closed here: opening the trace file
+    with ``"w"`` would wipe the pre-crash half of the stream. The resume
+    path restores the recorder state from the checkpoint and attaches the
+    sink at the checkpointed byte offset (see :mod:`repro.persist`)."""
     if args.trace_file is None and args.metrics_file is None:
         return None
-    return TraceRecorder(trace_path=args.trace_file)
+    return TraceRecorder(trace_path=args.trace_file, defer_sink=resuming)
 
 
 def _finish_telemetry(recorder: TraceRecorder | None, args: argparse.Namespace) -> None:
@@ -151,6 +158,40 @@ def _executor_spec(args: argparse.Namespace) -> str:
     return args.executor
 
 
+def _add_persistence(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="snapshot the full run state into DIR (see --checkpoint-every); "
+             "required for --resume")
+    parser.add_argument(
+        "--checkpoint-every", type=_positive_int, default=None, metavar="N",
+        help="checkpoint every N completed rounds (needs --checkpoint-dir)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue from the latest complete checkpoint in "
+             "--checkpoint-dir; the finished history/trace are byte-identical "
+             "to an uninterrupted run")
+    parser.add_argument(
+        "--crash-after-round", type=_positive_int, default=None, metavar="N",
+        help="fault injection: SIGKILL this process once N rounds have "
+             "completed (CI crash-resume testing)")
+
+
+def _add_cache(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="content-addressed result cache: identical (workload, scheme, "
+             "seed, rounds) runs are served from DIR instead of re-simulated")
+
+
+def _make_cache(args: argparse.Namespace):
+    if args.cache_dir is None:
+        return None
+    from .persist import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the `repro` argument parser (see module docstring)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -166,6 +207,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_run)
     _add_executor(p_run)
     _add_telemetry(p_run)
+    _add_persistence(p_run)
+    _add_cache(p_run)
 
     p_cmp = sub.add_parser("compare", help="run several schemes head-to-head")
     p_cmp.add_argument("--workload", required=True, choices=["cnn", "lstm", "wrn"])
@@ -175,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_cmp)
     _add_executor(p_cmp)
     _add_telemetry(p_cmp)
+    _add_cache(p_cmp)
 
     p_rep = sub.add_parser("reproduce", help="regenerate one paper artefact")
     p_rep.add_argument("--artifact", required=True, choices=sorted(ARTIFACTS))
@@ -193,17 +237,34 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """`repro run` — train one workload under one scheme."""
+    if args.resume and not args.checkpoint_dir:
+        logger.error("--resume requires --checkpoint-dir")
+        return 2
+    if args.checkpoint_every and not args.checkpoint_dir:
+        logger.error("--checkpoint-every requires --checkpoint-dir")
+        return 2
     cfg = get_workload(args.workload, args.scale)
-    recorder = _make_recorder(args)
-    result = run_scheme(
-        cfg,
-        args.scheme,
-        rounds=args.rounds,
-        stop_at_target=not args.no_target_stop,
-        seed=args.seed,
-        executor=_executor_spec(args),
-        recorder=recorder,
-    )
+    recorder = _make_recorder(args, resuming=args.resume)
+    from .persist import CheckpointNotFoundError
+
+    try:
+        result = run_scheme(
+            cfg,
+            args.scheme,
+            rounds=args.rounds,
+            stop_at_target=not args.no_target_stop,
+            seed=args.seed,
+            executor=_executor_spec(args),
+            recorder=recorder,
+            cache=_make_cache(args),
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            crash_after_round=args.crash_after_round,
+        )
+    except CheckpointNotFoundError as exc:
+        logger.error("cannot resume: %s", exc)
+        return 2
     hist = result.history
     tta = hist.time_to_accuracy(cfg.target_accuracy)
     logger.info(
@@ -229,6 +290,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     results = compare_schemes(
         cfg, args.schemes, rounds=args.rounds, seed=args.seed,
         executor=_executor_spec(args), recorder=recorder,
+        cache=_make_cache(args),
     )
     rows = []
     for res in results:

@@ -27,6 +27,14 @@ class UpdateCodec(ABC):
     ) -> tuple[dict[str, np.ndarray], int]:
         """Return ``(update_as_received, wire_bytes)``."""
 
+    # -- checkpoint/resume hooks (see repro.persist) -------------------
+    def snapshot_state(self) -> dict:
+        """Cross-round codec state (residuals, RNG position); default none."""
+        return {}
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Inverse of :meth:`snapshot_state` (default: no-op)."""
+
 
 class IdentityCodec(UpdateCodec):
     """Uncompressed float32 transmission (4 bytes/scalar)."""
@@ -56,6 +64,12 @@ class QuantizationCodec(UpdateCodec):
             nbytes += q.nbytes
         return received, nbytes
 
+    def snapshot_state(self) -> dict:
+        return {"rng": self._rng.bit_generator.state}
+
+    def restore_state(self, snapshot: dict) -> None:
+        self._rng.bit_generator.state = snapshot["rng"]
+
 
 class TopKCodec(UpdateCodec):
     """Top-k sparsification with per-layer residual error feedback.
@@ -82,3 +96,9 @@ class TopKCodec(UpdateCodec):
             received[name] = densify(sparse)
             nbytes += sparse_nbytes(k)
         return received, nbytes
+
+    def snapshot_state(self) -> dict:
+        return {"residuals": self._residuals.snapshot_state()}
+
+    def restore_state(self, snapshot: dict) -> None:
+        self._residuals.restore_state(snapshot["residuals"])

@@ -99,3 +99,14 @@ class ResidualStore:
 
     def clear(self) -> None:
         self._residuals.clear()
+
+    # -- checkpoint/resume hooks (see repro.persist) -------------------
+    def snapshot_state(self) -> dict:
+        """Copy of the per-layer residual memory."""
+        return {name: arr.copy() for name, arr in self._residuals.items()}
+
+    def restore_state(self, snapshot: dict) -> None:
+        self._residuals = {
+            name: np.asarray(arr, dtype=np.float32)
+            for name, arr in snapshot.items()
+        }

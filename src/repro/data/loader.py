@@ -52,6 +52,31 @@ class BatchStream:
                 self._cursor = 0
         return self.dataset.x[idx], self.dataset.y[idx]
 
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture the stream position: shuffle order, cursor, RNG state.
+
+        Restoring this into a stream over the same dataset makes
+        :meth:`next_batch` produce exactly the batches an uninterrupted
+        stream would (used by :mod:`repro.persist` checkpoint/resume)."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "order": self._order.copy(),
+            "cursor": int(self._cursor),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        order = np.asarray(snapshot["order"], dtype=np.int64)
+        if order.shape != (len(self.dataset),):
+            raise ValueError(
+                f"stream snapshot order length {order.shape} does not match "
+                f"dataset size {len(self.dataset)}"
+            )
+        self._rng.bit_generator.state = snapshot["rng"]
+        self._order = order
+        self._cursor = int(snapshot["cursor"])
+
     def __iter__(self):
         while True:
             yield self.next_batch()

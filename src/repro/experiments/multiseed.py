@@ -49,8 +49,14 @@ def run_multiseed(
     *,
     seeds: tuple[int, ...] = (0, 5, 42),
     rounds: int | None = None,
+    cache=None,
 ) -> dict[str, MultiSeedSummary]:
-    """Run every scheme at every seed; returns per-scheme summaries."""
+    """Run every scheme at every seed; returns per-scheme summaries.
+
+    ``cache`` is an optional :class:`~repro.persist.ResultCache`: cells
+    already computed by an earlier sweep (any executor) are reused instead
+    of re-simulated, so a warm rerun of a schemes × seeds grid costs zero
+    simulation."""
     if not seeds:
         raise ValueError("need at least one seed")
     out: dict[str, MultiSeedSummary] = {}
@@ -59,7 +65,7 @@ def run_multiseed(
         prts: list[float] = []
         display_name = scheme
         for seed in seeds:
-            res = run_scheme(cfg, scheme, rounds=rounds, seed=seed)
+            res = run_scheme(cfg, scheme, rounds=rounds, seed=seed, cache=cache)
             display_name = res.scheme
             tta = res.time_to_target
             ttas.append(float("nan") if tta is None else tta)
@@ -90,8 +96,14 @@ def format_multiseed(
                 f"{s.hit_rate:.0%}",
             ]
         )
+    if not title:
+        if summaries:
+            seeds = next(iter(summaries.values())).seeds
+            title = f"Multi-seed comparison over seeds {seeds}"
+        else:
+            title = "Multi-seed comparison (no results)"
     return format_table(
         ["Scheme", "Per-round (s)", "TTA per seed (s)", "Mean TTA (s)", "Hit rate"],
         rows,
-        title=title or f"Multi-seed comparison over seeds {summaries and next(iter(summaries.values())).seeds}",
+        title=title,
     )

@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import os
+import signal
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..algorithms import build_strategy
 from ..core import FedCAConfig
 from ..runtime import RunHistory
+from ..runtime.export import history_from_dict, history_to_dict
 from .configs import WorkloadConfig, make_environment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..persist import ResultCache
 
 __all__ = ["SchemeResult", "run_scheme", "compare_schemes"]
 
@@ -51,6 +58,11 @@ def run_scheme(
     fedca_config: FedCAConfig | None = None,
     executor=None,
     recorder=None,
+    cache: "ResultCache | None" = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool = False,
+    crash_after_round: int | None = None,
 ) -> SchemeResult:
     """Train one workload under one scheme and return its history.
 
@@ -62,39 +74,150 @@ def run_scheme(
     optional :class:`~repro.obs.Recorder` telemetry sink; a single
     recorder may be shared across runs (a ``run.start`` event marks each
     scheme's stream).
+
+    Persistence (see :mod:`repro.persist`):
+
+    * ``cache`` — a :class:`~repro.persist.ResultCache`; an
+      already-computed cell for this exact configuration is returned
+      without simulating (hit/miss counters mirror into the recorder).
+    * ``checkpoint_dir`` + ``checkpoint_every`` — snapshot the full run
+      state into ``checkpoint_dir`` every N completed rounds.
+    * ``resume`` — restore the latest complete checkpoint in
+      ``checkpoint_dir`` and continue; the finished history and trace are
+      byte-identical to an uninterrupted run's. Raises
+      :class:`~repro.persist.CheckpointNotFoundError` (listing whatever
+      was found) when there is nothing to resume.
+    * ``crash_after_round`` — fault injection for the crash-resume tests
+      and CI: the process SIGKILLs itself once that many rounds have
+      completed (after any due checkpoint), exactly like a real crash.
     """
+    if resume and not checkpoint_dir:
+        raise ValueError("resume=True requires checkpoint_dir")
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+
+    # Resolve effective values BEFORE cache keying, so explicit defaults
+    # and implied defaults land in the same cell.
     if fedca_config is None and scheme.lower().startswith("fedca"):
         fedca_config = FedCAConfig(profile_every=cfg.fedca_profile_every)
+    effective_rounds = rounds or cfg.default_rounds
+
+    cache_key = None
+    if cache is not None:
+        cache_key = cache.key(
+            cfg,
+            scheme,
+            rounds=effective_rounds,
+            stop_at_target=stop_at_target,
+            seed=seed,
+            dynamic=dynamic,
+            fedca_config=fedca_config,
+        )
+        payload = cache.get(cache_key)
+        if recorder is not None and recorder.enabled:
+            recorder.counter(
+                "repro_result_cache_hits_total" if payload is not None
+                else "repro_result_cache_misses_total"
+            )
+        if payload is not None:
+            return SchemeResult(
+                workload=payload["workload"],
+                scheme=payload["scheme"],
+                history=history_from_dict(payload["history"]),
+                target_accuracy=payload["target_accuracy"],
+            )
+
     strategy = build_strategy(
         scheme, cfg.optimizer_spec(), fedca_config=fedca_config
     )
-    if recorder is not None and recorder.enabled:
-        recorder.emit(
-            "run.start",
-            sim_time=0.0,
-            scheme=strategy.name,
-            workload=cfg.name,
-            scale=cfg.scale,
-            seed=seed,
-            executor=str(executor or "serial"),
+
+    rounds_done = 0
+    if resume:
+        from ..persist import find_latest_checkpoint
+
+        ckpt_path = find_latest_checkpoint(checkpoint_dir)
+        # Build with recorder=None: the restored trace already holds the
+        # original run's start/client_meta events, and attaching the sink
+        # naively ("w") would truncate the first half of the stream.
+        sim = make_environment(
+            cfg, strategy, seed=seed, dynamic=dynamic, executor=executor,
+            recorder=None,
         )
-    sim = make_environment(
-        cfg, strategy, seed=seed, dynamic=dynamic, executor=executor,
-        recorder=recorder,
-    )
+        ckpt = sim.resume(ckpt_path)
+        rounds_done = ckpt.rounds_completed
+        if recorder is not None:
+            if ckpt.recorder is not None and hasattr(recorder, "restore_state"):
+                recorder.restore_state(ckpt.recorder)
+            if hasattr(recorder, "attach_sink"):
+                offset = (ckpt.recorder or {}).get("sink_offset")
+                recorder.attach_sink(offset=offset)
+            sim.set_recorder(recorder)
+    else:
+        if recorder is not None and recorder.enabled:
+            recorder.emit(
+                "run.start",
+                sim_time=0.0,
+                scheme=strategy.name,
+                workload=cfg.name,
+                scale=cfg.scale,
+                seed=seed,
+                executor=str(executor or "serial"),
+            )
+        sim = make_environment(
+            cfg, strategy, seed=seed, dynamic=dynamic, executor=executor,
+            recorder=recorder,
+        )
+
+    def on_round(_record) -> None:
+        done = sim.history.num_rounds
+        if (
+            checkpoint_dir
+            and checkpoint_every
+            and done % checkpoint_every == 0
+        ):
+            from ..persist import save_run_checkpoint
+
+            save_run_checkpoint(sim, checkpoint_dir)
+        if crash_after_round is not None and done >= crash_after_round:
+            # Hard kill, no cleanup/flush — indistinguishable from a real
+            # crash, which is exactly what the resume oracle must survive.
+            os.kill(os.getpid(), signal.SIGKILL)
+
     try:
-        history = sim.run(
-            rounds or cfg.default_rounds,
-            target_accuracy=cfg.target_accuracy if stop_at_target else None,
+        target = cfg.target_accuracy if stop_at_target else None
+        already_met = stop_at_target and any(
+            r.accuracy >= cfg.target_accuracy for r in sim.history.records
         )
+        remaining = effective_rounds - rounds_done
+        if remaining > 0 and not already_met:
+            sim.run(
+                remaining,
+                target_accuracy=target,
+                progress=on_round
+                if (checkpoint_dir and checkpoint_every) or crash_after_round
+                else None,
+            )
+        history = sim.history
     finally:
         sim.close()
-    return SchemeResult(
+
+    result = SchemeResult(
         workload=cfg.name,
         scheme=strategy.name,
         history=history,
         target_accuracy=cfg.target_accuracy,
     )
+    if cache is not None and cache_key is not None:
+        cache.put(
+            cache_key,
+            {
+                "workload": result.workload,
+                "scheme": result.scheme,
+                "target_accuracy": result.target_accuracy,
+                "history": history_to_dict(history),
+            },
+        )
+    return result
 
 
 def compare_schemes(
@@ -108,8 +231,12 @@ def compare_schemes(
     fedca_config: FedCAConfig | None = None,
     executor=None,
     recorder=None,
+    cache: "ResultCache | None" = None,
 ) -> list[SchemeResult]:
-    """Run several schemes under identical data/system conditions."""
+    """Run several schemes under identical data/system conditions.
+
+    With ``cache``, schemes whose results are already cached are skipped
+    entirely (their cells were keyed on the same config/seed)."""
     return [
         run_scheme(
             cfg,
@@ -121,6 +248,7 @@ def compare_schemes(
             fedca_config=fedca_config,
             executor=executor,
             recorder=recorder,
+            cache=cache,
         )
         for scheme in schemes
     ]

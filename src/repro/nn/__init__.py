@@ -14,7 +14,13 @@ from .optim import SGD, ProxSGD
 from .parameter import Parameter
 from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
 from .rnn import LSTM
-from .serialize import load_model, save_model, state_from_bytes, state_to_bytes
+from .serialize import (
+    CheckpointFormatError,
+    load_model,
+    save_model,
+    state_from_bytes,
+    state_to_bytes,
+)
 
 __all__ = [
     "Parameter", "Module", "Sequential", "Linear", "ReLU", "Tanh", "Flatten",
@@ -24,4 +30,5 @@ __all__ = [
     "softmax_cross_entropy", "accuracy",
     "LeNetCNN", "LSTMClassifier", "WideResNet", "ResidualBlock", "build_model",
     "save_model", "load_model", "state_to_bytes", "state_from_bytes",
+    "CheckpointFormatError",
 ]

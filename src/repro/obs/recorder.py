@@ -22,6 +22,7 @@ for serial and parallel executions of the same run.
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import deque
 from typing import Any, Iterable
@@ -122,6 +123,12 @@ class TraceRecorder(Recorder):
         Also stamp events with ``time.monotonic()``. Off by default so
         traces are reproducible byte-for-byte; determinism tests compare
         with wall-clock fields dropped.
+    defer_sink:
+        Do not open ``trace_path`` yet. Used by checkpoint resume
+        (:mod:`repro.persist`): opening with ``"w"`` would truncate the
+        first half of the trace, so the resume path restores the recorder
+        state first and then calls :meth:`attach_sink` with the
+        checkpointed byte offset.
     """
 
     enabled = True
@@ -132,6 +139,7 @@ class TraceRecorder(Recorder):
         capacity: int = 100_000,
         trace_path: str | None = None,
         wall_clock: bool = False,
+        defer_sink: bool = False,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -143,7 +151,7 @@ class TraceRecorder(Recorder):
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self._trace_path = trace_path
-        self._sink = open(trace_path, "w") if trace_path else None
+        self._sink = open(trace_path, "w") if trace_path and not defer_sink else None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -236,6 +244,56 @@ class TraceRecorder(Recorder):
         if kind is None:
             return list(self._ring)
         return [e for e in self._ring if e.kind == kind]
+
+    # ------------------------------------------------------------------
+    # Checkpoint/resume hooks (see repro.persist). The trace oracle —
+    # first-half trace + resumed trace must be byte-identical to an
+    # uninterrupted run's — needs the sequence counter, the metrics
+    # registry, and the durable sink position to survive the restart.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-safe snapshot of counters, gauges, sequence state and the
+        flushed sink byte offset (everything a resumed recorder needs to
+        continue the stream seamlessly). The ring content is *not*
+        captured — ``num_events`` still accounts for pre-resume events."""
+        self.flush()
+        snapshot: dict = {
+            "seq": self._seq,
+            "dropped_events": self.dropped_events,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+        if self._sink is not None:
+            os.fsync(self._sink.fileno())
+            snapshot["sink_offset"] = self._sink.tell()
+        return snapshot
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Inverse of :meth:`snapshot_state` (sink handling is separate —
+        see :meth:`attach_sink`)."""
+        self._seq = int(snapshot["seq"])
+        self.dropped_events = int(snapshot["dropped_events"])
+        self.counters = {k: float(v) for k, v in snapshot["counters"].items()}
+        self.gauges = {k: float(v) for k, v in snapshot["gauges"].items()}
+
+    def attach_sink(self, *, offset: int | None = None) -> None:
+        """Open a sink deferred at construction (``defer_sink=True``).
+
+        With ``offset`` and an existing file, the file is truncated to the
+        checkpointed position first — discarding any events a crashed
+        process managed to flush past its last checkpoint — and appending
+        resumes from there. Otherwise the file is created fresh. No-op if
+        no ``trace_path`` was configured or a sink is already open.
+        """
+        if self._trace_path is None or self._sink is not None:
+            return
+        if offset is not None and os.path.exists(self._trace_path):
+            fh = open(self._trace_path, "r+")
+            fh.seek(int(offset))
+            fh.truncate()
+            self._sink = fh
+        else:
+            self._sink = open(self._trace_path, "w")
 
     # ------------------------------------------------------------------
     def flush(self) -> None:

@@ -82,6 +82,25 @@ class SimClient:
     def current_state(self) -> dict[str, np.ndarray]:
         return self.model.state_dict()
 
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Everything about this client that persists *across* rounds.
+
+        The model replica, optimiser and uplink queue are rebuilt from the
+        broadcast state at every round start, so the cross-round mutable
+        state is exactly the cyclic batch stream and the speed trace (both
+        RNG-bearing). Used by :mod:`repro.persist` checkpoint/resume.
+        """
+        return {
+            "stream": self.stream.snapshot_state(),
+            "trace": self.trace.snapshot_state(),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Inverse of :meth:`capture_state`."""
+        self.stream.restore_state(snapshot["stream"])
+        self.trace.restore_state(snapshot["trace"])
+
     def local_update(self, global_state: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
         """Accumulated update ``w_local − w_global`` per layer."""
         return {

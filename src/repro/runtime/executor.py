@@ -62,6 +62,23 @@ class Executor(ABC):
     def close(self) -> None:
         """Release any engine resources (processes, pipes). Idempotent."""
 
+    def capture_run_state(self) -> dict:
+        """Snapshot the evolved per-client and per-client-strategy state
+        for checkpointing (see :mod:`repro.persist`).
+
+        The engine owns this because the state lives wherever the client
+        rounds actually execute — in the parent for :class:`SerialExecutor`,
+        inside the persistent workers for
+        :class:`~repro.runtime.parallel.ParallelExecutor`. Returns
+        ``{"clients": {cid: snapshot}, "strategy": {cid: snapshot}}``.
+        Restore needs no engine hook: checkpoints are restored into a
+        freshly constructed simulator *before* any round runs, so parallel
+        workers fork from the already-restored parent replicas.
+        """
+        raise NotImplementedError(
+            f"executor {self.name!r} does not support checkpointing"
+        )
+
     # Context-manager sugar so ad-hoc scripts don't leak worker processes.
     def __enter__(self) -> "Executor":
         return self
@@ -97,6 +114,15 @@ class SerialExecutor(Executor):
             client.stage_buffers(global_buffers)
             results.append(self._strategy.client_round(client, global_state, ctx))
         return results
+
+    def capture_run_state(self) -> dict:
+        if self._clients is None or self._strategy is None:
+            raise RuntimeError("executor not bound; construct it via FederatedSimulator")
+        client_ids = [c.client_id for c in self._clients]
+        return {
+            "clients": {c.client_id: c.capture_state() for c in self._clients},
+            "strategy": self._strategy.capture_client_states(client_ids),
+        }
 
 
 def resolve_executor(spec: "Executor | str | None") -> Executor:

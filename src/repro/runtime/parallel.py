@@ -91,6 +91,19 @@ def _worker_main(conn, clients, strategy, owned_ids) -> None:
             msg = conn.recv()
             if msg[0] == "stop":
                 return
+            if msg[0] == "capture":
+                # Checkpoint support: the evolved cross-round state of the
+                # owned clients (and the strategy replica's view of them)
+                # lives only in this process — snapshot and ship it back.
+                try:
+                    snapshot = (
+                        {cid: clients[cid].capture_state() for cid in owned_ids},
+                        strategy.capture_client_states(list(owned_ids)),
+                    )
+                    conn.send(("ok", snapshot))
+                except Exception:
+                    conn.send(("err", traceback.format_exc()))
+                continue
             _, state_blob, buffers_blob, jobs = msg
             try:
                 state = state_from_bytes(state_blob)
@@ -134,6 +147,7 @@ class ParallelExecutor(Executor):
         self._conns: list = []
         self._started = False
         self._fallback: SerialExecutor | None = None
+        self._degraded_after_start = False
 
     # ------------------------------------------------------------------
     def bind(self, clients: Sequence["SimClient"], strategy: "Strategy") -> None:
@@ -233,6 +247,7 @@ class ParallelExecutor(Executor):
             )
             self._shutdown_pool()
             self._degrade()
+            self._degraded_after_start = True
             remaining = [(cid, ctx) for cid, ctx in jobs if cid not in by_cid]
             for result in self._fallback.run_round(
                 global_state, global_buffers, remaining
@@ -240,6 +255,45 @@ class ParallelExecutor(Executor):
                 by_cid[result.client_id] = result
 
         return [by_cid[cid] for cid, _ in jobs]
+
+    # ------------------------------------------------------------------
+    def capture_run_state(self) -> dict:
+        if self._clients is None or self._strategy is None:
+            raise RuntimeError("executor not bound; construct it via FederatedSimulator")
+        if self._fallback is not None:
+            if self._degraded_after_start:
+                # The dead pool took rounds of client-state evolution with
+                # it; the parent replicas are stale, so a checkpoint here
+                # would silently violate the resume-determinism guarantee.
+                raise RuntimeError(
+                    "cannot checkpoint after a worker-crash fallback: the "
+                    "parent client replicas did not observe the rounds the "
+                    "dead pool executed"
+                )
+            return self._fallback.capture_run_state()
+        if not self._started:
+            # No round has run yet — the initial state still lives here.
+            serial = SerialExecutor()
+            serial.bind(self._clients, self._strategy)
+            return serial.capture_run_state()
+        for conn in self._conns:
+            try:
+                conn.send(("capture",))
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerCrash("worker died during state capture") from exc
+        clients: dict = {}
+        strategy: dict = {}
+        for w, conn in enumerate(self._conns):
+            try:
+                tag, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrash("worker died during state capture") from exc
+            if tag == "err":
+                raise RuntimeError(f"state capture failed in worker {w}:\n{payload}")
+            worker_clients, worker_strategy = payload
+            clients.update(worker_clients)
+            strategy.update(worker_strategy)
+        return {"clients": clients, "strategy": strategy}
 
     # ------------------------------------------------------------------
     def _shutdown_pool(self) -> None:

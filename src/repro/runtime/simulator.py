@@ -181,6 +181,47 @@ class FederatedSimulator:
         self.executor.bind(self.clients, self.strategy)
 
     # ------------------------------------------------------------------
+    # Checkpoint/resume (see repro.persist — imported lazily so the
+    # runtime layer has no hard dependency on the persistence subsystem).
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path: str) -> None:
+        """Atomically snapshot the full run state between rounds.
+
+        Under a parallel executor this pulls the evolved per-client state
+        from the worker processes, so it is safe (and exact) mid-run."""
+        from ..persist import RunCheckpoint
+
+        RunCheckpoint.from_simulator(self).save(path)
+
+    def resume(self, source) -> "RunCheckpoint":
+        """Restore a checkpoint into this *freshly constructed* simulator.
+
+        ``source`` is a checkpoint payload path or an already-loaded
+        :class:`~repro.persist.RunCheckpoint`. Returns the checkpoint so
+        callers can pick up ``rounds_completed`` and the recorder
+        snapshot. The simulator must have been built with the same
+        configuration and seed, zero rounds run, and (for parallel
+        executors) the worker pool not yet forked — the workers then fork
+        from the restored replicas and the continued run is bitwise
+        identical to one that never stopped."""
+        from ..persist import RunCheckpoint
+
+        ckpt = (
+            source
+            if isinstance(source, RunCheckpoint)
+            else RunCheckpoint.load(source)
+        )
+        ckpt.restore_into(self)
+        return ckpt
+
+    def set_recorder(self, recorder: Recorder | None) -> None:
+        """Swap the telemetry sink. The resume path constructs the
+        simulator with ``recorder=None`` (so ``run.client_meta`` events are
+        not re-emitted into an already-written trace), restores the
+        recorder's own state, then attaches it here."""
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
         """Release executor resources (worker processes). Idempotent."""
         self.executor.close()

@@ -146,6 +146,38 @@ class SpeedTrace:
             t = seg.end
         return t
 
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture every mutable field: the lazily generated mode segments,
+        the generation horizon/phase, and the exact RNG stream position.
+
+        A trace restored from this snapshot continues generating the same
+        segment sequence an uninterrupted trace would — the checkpoint/
+        resume subsystem (:mod:`repro.persist`) relies on this for its
+        bitwise-identity guarantee (property-tested in
+        ``tests/test_sysmodel.py``).
+        """
+        segments = np.array(
+            [[s.start, s.end, s.slowdown] for s in self._segments],
+            dtype=np.float64,
+        ).reshape(-1, 3)
+        return {
+            "rng": self._rng.bit_generator.state,
+            "segments": segments,
+            "horizon": float(self._horizon),
+            "next_fast": bool(self._next_fast),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Inverse of :meth:`snapshot_state` (static config is untouched)."""
+        self._rng.bit_generator.state = snapshot["rng"]
+        segments = np.asarray(snapshot["segments"], dtype=np.float64).reshape(-1, 3)
+        self._segments = [
+            _Segment(float(s), float(e), float(d)) for s, e, d in segments
+        ]
+        self._horizon = float(snapshot["horizon"])
+        self._next_fast = bool(snapshot["next_fast"])
+
     def average_iteration_time(self, start: float, iterations: int) -> float:
         """Mean wall-clock seconds per iteration over a window (used by
         clients to estimate their own pace when reporting to the server)."""

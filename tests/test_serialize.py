@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.nn import (
+    CheckpointFormatError,
     LeNetCNN,
     WideResNet,
     load_model,
@@ -78,3 +79,68 @@ class TestSaveLoad:
         restored = state_from_bytes(blob)
         for k in sim.global_state:
             np.testing.assert_array_equal(restored[k], sim.global_state[k])
+
+
+class TestLoadValidation:
+    """A checkpoint that diverges from the target model must raise a typed
+    CheckpointFormatError — never a numpy broadcast error, never a silent
+    dtype cast (which would corrupt federated aggregation)."""
+
+    @staticmethod
+    def _edited_checkpoint(tmp_path, mutate):
+        """Save a LeNet, rewrite the archive through `mutate`, return path."""
+        model = LeNetCNN(rng=np.random.default_rng(1))
+        path = tmp_path / "cnn.npz"
+        save_model(model, path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        mutate(arrays)
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+        return model, path
+
+    def test_dtype_mismatch_raises_typed_error(self, tmp_path):
+        def to_float64(arrays):
+            name = next(iter(arrays))
+            arrays[name] = arrays[name].astype(np.float64)
+
+        model, path = self._edited_checkpoint(tmp_path, to_float64)
+        fresh = LeNetCNN(rng=np.random.default_rng(2))
+        with pytest.raises(CheckpointFormatError, match="dtype"):
+            load_model(fresh, path)
+
+    def test_shape_mismatch_raises_typed_error(self, tmp_path):
+        def reshape_flat(arrays):
+            name = next(n for n in arrays if arrays[n].ndim > 1)
+            arrays[name] = arrays[name].reshape(-1)
+
+        model, path = self._edited_checkpoint(tmp_path, reshape_flat)
+        fresh = LeNetCNN(rng=np.random.default_rng(2))
+        with pytest.raises(CheckpointFormatError, match="shape"):
+            load_model(fresh, path)
+
+    def test_missing_layer_raises_typed_error(self, tmp_path):
+        def drop_one(arrays):
+            arrays.pop(next(iter(arrays)))
+
+        model, path = self._edited_checkpoint(tmp_path, drop_one)
+        fresh = LeNetCNN(rng=np.random.default_rng(2))
+        with pytest.raises(CheckpointFormatError, match="missing"):
+            load_model(fresh, path)
+
+    def test_rejected_load_leaves_model_untouched(self, tmp_path):
+        def to_float64(arrays):
+            for name in arrays:
+                arrays[name] = arrays[name].astype(np.float64)
+
+        _, path = self._edited_checkpoint(tmp_path, to_float64)
+        fresh = LeNetCNN(rng=np.random.default_rng(2))
+        before = {n: p.data.copy() for n, p in fresh.named_parameters()}
+        with pytest.raises(CheckpointFormatError):
+            load_model(fresh, path)
+        for name, param in fresh.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_error_is_a_value_error(self):
+        # Legacy callers catch ValueError; the typed subclass keeps working.
+        assert issubclass(CheckpointFormatError, ValueError)
