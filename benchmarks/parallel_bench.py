@@ -2,9 +2,12 @@
 
 Measures the time to run ``--rounds`` communication rounds of the micro CNN
 workload at several client counts under the :class:`SerialExecutor` and the
-:class:`ParallelExecutor`, verifies the two histories are identical, and
-writes the measurements to ``BENCH_parallel.json`` so later PRs have a perf
-trajectory to compare against.
+:class:`ParallelExecutor` — the latter A/B'd across IPC transports (``pipe``
+vs ``shm``), recording bytes moved per round on each channel next to the
+wall-clock numbers — verifies all histories are identical, and writes the
+measurements to ``BENCH_parallel.json`` so later PRs have a perf trajectory
+to compare against. The shm rows must move at least 5x fewer pipe bytes per
+round than the pipe rows; the bench exits non-zero otherwise.
 
 Regenerate with::
 
@@ -42,6 +45,11 @@ from repro.algorithms import build_strategy  # noqa: E402
 from repro.experiments.configs import get_workload, make_environment  # noqa: E402
 from repro.obs import TraceRecorder  # noqa: E402
 from repro.runtime.parallel import default_workers, fork_available  # noqa: E402
+from repro.runtime.transport import (  # noqa: E402
+    BROADCAST_SECONDS,
+    ipc_bytes_counter,
+    shm_available,
+)
 
 
 def bench_config(num_clients: int):
@@ -69,9 +77,10 @@ def run_once(cfg, executor, rounds: int, seed: int, *, scheme="fedavg",
         start = time.perf_counter()
         history = sim.run(rounds)
         elapsed = time.perf_counter() - start
+        ipc = sim.executor.ipc_stats()
     finally:
         sim.close()
-    return elapsed, history
+    return elapsed, history, ipc
 
 
 def telemetry_check(args) -> int:
@@ -88,7 +97,7 @@ def telemetry_check(args) -> int:
         times = []
         for _ in range(args.repeats):
             rec = recorder_factory()
-            elapsed, history = run_once(
+            elapsed, history, _ = run_once(
                 cfg, "serial", rounds, seed, scheme="fedca", recorder=rec
             )
             if rec is not None:
@@ -133,6 +142,10 @@ def main(argv=None) -> int:
     parser.add_argument("--rounds", type=int, default=3)
     parser.add_argument("--workers", type=int, default=None,
                         help="parallel pool size (default: usable cores)")
+    parser.add_argument("--transports", nargs="+", default=None,
+                        choices=["pipe", "shm"],
+                        help="IPC transports to A/B (default: pipe plus shm "
+                             "when the platform supports it)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default=str(Path(__file__).parent.parent / "BENCH_parallel.json"))
     parser.add_argument("--recorder", default="null", choices=["null", "trace"],
@@ -158,55 +171,99 @@ def main(argv=None) -> int:
         return None
 
     workers = args.workers or default_workers()
+    transports = args.transports
+    if transports is None:
+        transports = ["pipe"]
+        shm_ok, shm_reason = shm_available()
+        if shm_ok:
+            transports.append("shm")
+        else:
+            print(f"shm transport unavailable ({shm_reason}); pipe only")
     report = {
         "benchmark": "serial vs parallel round execution (fedavg, micro cnn)",
         "rounds": args.rounds,
         "workers": workers,
+        "transports": transports,
         "cpu_count": os.cpu_count(),
         "usable_cores": default_workers(),
         "fork_available": fork_available(),
         "results": [],
     }
+
+    def bytes_per_round(ipc, transport, direction):
+        return ipc.get(ipc_bytes_counter(transport, direction), 0) / args.rounds
+
     for n in args.clients:
         cfg = bench_config(n)
-        # One recorder at a time: both runs would otherwise hold the same
-        # --trace-out file open (the parallel run's trace is the one kept).
+        # One recorder at a time: concurrent runs would otherwise hold the
+        # same --trace-out file open (the last run's trace is the one kept).
         rec = make_recorder()
         try:
-            serial_s, hist_serial = run_once(
+            serial_s, hist_serial, _ = run_once(
                 cfg, "serial", args.rounds, args.seed, recorder=rec
             )
         finally:
             if rec is not None:
                 rec.close()
-        rec = make_recorder()
-        try:
-            parallel_s, hist_parallel = run_once(
-                cfg, f"parallel:{workers}", args.rounds, args.seed,
-                recorder=rec,
+        pipe_broadcast_per_round = {}
+        for transport in transports:
+            rec = make_recorder()
+            try:
+                parallel_s, hist_parallel, ipc = run_once(
+                    cfg, f"parallel:{workers}@{transport}", args.rounds,
+                    args.seed, recorder=rec,
+                )
+            finally:
+                if rec is not None:
+                    rec.close()
+            identical = fingerprint(hist_serial) == fingerprint(hist_parallel)
+            speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+            pipe_bytes = (
+                bytes_per_round(ipc, "pipe", "broadcast")
+                + bytes_per_round(ipc, "pipe", "results")
             )
-        finally:
-            if rec is not None:
-                rec.close()
-        identical = fingerprint(hist_serial) == fingerprint(hist_parallel)
-        speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-        report["results"].append(
-            {
-                "clients": n,
-                "serial_s": round(serial_s, 4),
-                "parallel_s": round(parallel_s, 4),
-                "speedup": round(speedup, 3),
-                "histories_identical": identical,
-            }
-        )
-        print(
-            f"clients={n:3d}  serial={serial_s:7.3f}s  "
-            f"parallel[{workers}]={parallel_s:7.3f}s  "
-            f"speedup={speedup:5.2f}x  identical={identical}"
-        )
-        if not identical:
-            print("ERROR: serial and parallel histories diverged", file=sys.stderr)
-            return 1
+            shm_bytes = (
+                bytes_per_round(ipc, "shm", "broadcast")
+                + bytes_per_round(ipc, "shm", "results")
+            )
+            pipe_broadcast_per_round[transport] = pipe_bytes
+            report["results"].append(
+                {
+                    "clients": n,
+                    "transport": transport,
+                    "serial_s": round(serial_s, 4),
+                    "parallel_s": round(parallel_s, 4),
+                    "speedup": round(speedup, 3),
+                    "pipe_bytes_per_round": round(pipe_bytes),
+                    "shm_bytes_per_round": round(shm_bytes),
+                    "broadcast_seconds": round(ipc.get(BROADCAST_SECONDS, 0.0), 4),
+                    "histories_identical": identical,
+                }
+            )
+            print(
+                f"clients={n:3d}  serial={serial_s:7.3f}s  "
+                f"parallel[{workers}@{transport}]={parallel_s:7.3f}s  "
+                f"speedup={speedup:5.2f}x  pipe={pipe_bytes / 1024:8.1f}KiB/round  "
+                f"shm={shm_bytes / 1024:8.1f}KiB/round  identical={identical}"
+            )
+            if not identical:
+                print(
+                    f"ERROR: serial and parallel@{transport} histories diverged",
+                    file=sys.stderr,
+                )
+                return 1
+        if "pipe" in pipe_broadcast_per_round and "shm" in pipe_broadcast_per_round:
+            ratio = pipe_broadcast_per_round["pipe"] / max(
+                pipe_broadcast_per_round["shm"], 1.0
+            )
+            print(f"clients={n:3d}  shm moves {ratio:.1f}x fewer pipe bytes/round")
+            if ratio < 5.0:
+                print(
+                    f"ERROR: shm only cut pipe traffic {ratio:.1f}x "
+                    "(acceptance floor is 5x)",
+                    file=sys.stderr,
+                )
+                return 1
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -15,9 +15,13 @@ import pytest
 
 from parallel_bench import bench_config, fingerprint, run_once
 from repro.runtime.parallel import default_workers, fork_available
+from repro.runtime.transport import ipc_bytes_counter, shm_available
 
 needs_fork = pytest.mark.skipif(
     not fork_available(), reason="platform lacks the fork start method"
+)
+needs_shm = pytest.mark.skipif(
+    not shm_available()[0], reason="platform lacks POSIX shared memory"
 )
 
 
@@ -27,8 +31,10 @@ def test_parallel_smoke_two_workers(once):
     cfg = bench_config(8)
 
     def run_pair():
-        serial_s, hist_serial = run_once(cfg, "serial", rounds=2, seed=0)
-        parallel_s, hist_parallel = run_once(cfg, "parallel:2", rounds=2, seed=0)
+        serial_s, hist_serial, _ = run_once(cfg, "serial", rounds=2, seed=0)
+        parallel_s, hist_parallel, _ = run_once(
+            cfg, "parallel:2@pipe", rounds=2, seed=0
+        )
         return serial_s, parallel_s, hist_serial, hist_parallel
 
     serial_s, parallel_s, hist_serial, hist_parallel = once(run_pair)
@@ -37,6 +43,31 @@ def test_parallel_smoke_two_workers(once):
         f"speedup={serial_s / parallel_s:.2f}x"
     )
     assert fingerprint(hist_serial) == fingerprint(hist_parallel)
+
+
+@needs_fork
+@needs_shm
+def test_shm_smoke_two_workers(once):
+    """Shm transport: identical histories and >=5x fewer pipe bytes/round."""
+    cfg = bench_config(8)
+
+    def run_pair():
+        pipe_s, hist_pipe, ipc_pipe = run_once(
+            cfg, "parallel:2@pipe", rounds=2, seed=0
+        )
+        shm_s, hist_shm, ipc_shm = run_once(
+            cfg, "parallel:2@shm", rounds=2, seed=0
+        )
+        return pipe_s, shm_s, hist_pipe, hist_shm, ipc_pipe, ipc_shm
+
+    pipe_s, shm_s, hist_pipe, hist_shm, ipc_pipe, ipc_shm = once(run_pair)
+    key = ipc_bytes_counter("pipe", "broadcast")
+    print(
+        f"\n8 clients: pipe[2]={pipe_s:.3f}s shm[2]={shm_s:.3f}s  "
+        f"pipe-bytes pipe={ipc_pipe[key]:.0f} shm={ipc_shm[key]:.0f}"
+    )
+    assert fingerprint(hist_pipe) == fingerprint(hist_shm)
+    assert ipc_shm[key] * 5 <= ipc_pipe[key]
 
 
 @needs_fork
@@ -49,8 +80,10 @@ def test_parallel_speedup_16_clients(once):
     cfg = bench_config(16)
 
     def run_pair():
-        serial_s, hist_serial = run_once(cfg, "serial", rounds=3, seed=0)
-        parallel_s, hist_parallel = run_once(cfg, "parallel:4", rounds=3, seed=0)
+        serial_s, hist_serial, _ = run_once(cfg, "serial", rounds=3, seed=0)
+        parallel_s, hist_parallel, _ = run_once(
+            cfg, "parallel:4", rounds=3, seed=0
+        )
         return serial_s, parallel_s, hist_serial, hist_parallel
 
     serial_s, parallel_s, hist_serial, hist_parallel = once(run_pair)

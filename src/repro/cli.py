@@ -150,12 +150,23 @@ def _add_executor(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=_positive_int, default=None, metavar="N",
         help="worker count for --executor parallel (default: usable cores)")
+    parser.add_argument(
+        "--transport", default="auto", choices=["auto", "shm", "pipe"],
+        help="IPC transport for --executor parallel: 'shm' broadcasts the "
+             "model once through a shared-memory arena, 'pipe' serialises "
+             "it per worker; 'auto' (default) picks shm where available "
+             "and falls back to pipe with a logged reason")
 
 
 def _executor_spec(args: argparse.Namespace) -> str:
-    if args.executor == "parallel" and args.workers is not None:
-        return f"parallel:{args.workers}"
-    return args.executor
+    if args.executor != "parallel":
+        return args.executor
+    spec = "parallel"
+    if args.workers is not None:
+        spec += f":{args.workers}"
+    if args.transport != "auto":
+        spec += f"@{args.transport}"
+    return spec
 
 
 def _add_persistence(parser: argparse.ArgumentParser) -> None:

@@ -49,6 +49,8 @@ class Conv2d(Module):
         self._geom: tuple[int, int] | None = None
         self._cols: np.ndarray | None = None
         self._x_shape: tuple[int, int, int, int] | None = None
+        self._paths: tuple | None = None
+        self._path_geom: tuple[int, int] | None = None
 
     def _ensure_indices(self, h: int, w: int) -> None:
         if self._geom != (h, w):
@@ -57,6 +59,22 @@ class Conv2d(Module):
                 self.stride, self.padding,
             )
             self._geom = (h, w)
+
+    def _ensure_paths(self, n: int, l: int) -> tuple:
+        """Contraction paths for the three einsums, planned once per
+        ``(batch, spatial)`` geometry instead of re-searched every call
+        (``optimize=True`` re-runs the path optimizer on each invocation)."""
+        if self._path_geom != (n, l):
+            k = self.in_channels * self.kernel_size * self.kernel_size
+            w_mat = np.empty((self.out_channels, k))
+            cols = np.empty((n, k, l))
+            grad = np.empty((n, self.out_channels, l))
+            fwd = np.einsum_path("fk,nkl->nfl", w_mat, cols, optimize="optimal")[0]
+            dw = np.einsum_path("nfl,nkl->fk", grad, cols, optimize="optimal")[0]
+            dcols = np.einsum_path("fk,nfl->nkl", w_mat, grad, optimize="optimal")[0]
+            self._paths = (fwd, dw, dcols)
+            self._path_geom = (n, l)
+        return self._paths
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
@@ -67,8 +85,9 @@ class Conv2d(Module):
         cols = F.im2col(x, self._indices, self.padding)  # (N, C*k*k, L)
         self._cols = cols
         self._x_shape = x.shape
+        fwd_path, _, _ = self._ensure_paths(n, cols.shape[2])
         w_mat = self.weight.data.reshape(self.out_channels, -1)  # (F, C*k*k)
-        out = np.einsum("fk,nkl->nfl", w_mat, cols, optimize=True)
+        out = np.einsum("fk,nkl->nfl", w_mat, cols, optimize=fwd_path)
         if self.bias is not None:
             out += self.bias.data[None, :, None]
         return out.reshape(n, self.out_channels, out_h, out_w)
@@ -78,12 +97,17 @@ class Conv2d(Module):
             raise RuntimeError("Conv2d.backward called before forward")
         n = grad_out.shape[0]
         grad_flat = grad_out.reshape(n, self.out_channels, -1)  # (N, F, L)
+        _, dw_path, dcols_path = self._ensure_paths(n, grad_flat.shape[2])
         # dW: sum over batch and spatial positions.
-        dw = np.einsum("nfl,nkl->fk", grad_flat, self._cols, optimize=True)
+        dw = np.einsum("nfl,nkl->fk", grad_flat, self._cols, optimize=dw_path)
         self.weight.grad += dw.reshape(self.weight.data.shape)
         if self.bias is not None:
             self.bias.grad += grad_flat.sum(axis=(0, 2))
         # dX: project back through the filter bank then fold columns.
         w_mat = self.weight.data.reshape(self.out_channels, -1)
-        dcols = np.einsum("fk,nfl->nkl", w_mat, grad_flat, optimize=True)
+        dcols = np.einsum("fk,nfl->nkl", w_mat, grad_flat, optimize=dcols_path)
+        # The im2col buffer is the largest per-layer allocation; once the
+        # gradients are folded it is dead weight, so free it eagerly rather
+        # than holding ~k*k times the input until the next forward.
+        self._cols = None
         return F.col2im(dcols, self._x_shape, self._indices, self.padding)

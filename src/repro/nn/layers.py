@@ -48,6 +48,7 @@ class Linear(Module):
         x = self._x
         if x is None:
             raise RuntimeError("Linear.backward called before forward")
+        self._x = None
         self.weight.grad += grad_out.T @ x
         if self.bias is not None:
             self.bias.grad += grad_out.sum(axis=0)
@@ -64,7 +65,8 @@ class ReLU(Module):
         return F.relu(x)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return F.relu_grad(self._x, grad_out)
+        x, self._x = self._x, None
+        return F.relu_grad(x, grad_out)
 
 
 class Tanh(Module):
@@ -77,7 +79,8 @@ class Tanh(Module):
         return self._out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return grad_out * (1.0 - self._out**2)
+        out, self._out = self._out, None
+        return grad_out * (1.0 - out**2)
 
 
 class Flatten(Module):
@@ -119,9 +122,10 @@ class Dropout(Module):
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._mask is None:
+        mask, self._mask = self._mask, None
+        if mask is None:
             return grad_out
-        return grad_out * self._mask
+        return grad_out * mask
 
 
 class Identity(Module):

@@ -66,6 +66,7 @@ class BatchNorm2d(Module):
             inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
             return grad_out * (self.weight.data * inv_std)[None, :, None, None]
         x_hat, inv_std, shape = self._cache
+        self._cache = None
         n, c, h, w = shape
         m = n * h * w  # elements per channel
         self.weight.grad += (grad_out * x_hat).sum(axis=(0, 2, 3))
@@ -119,6 +120,7 @@ class GroupNorm2d(Module):
         if self._cache is None:
             raise RuntimeError("GroupNorm2d.backward called before forward")
         x_hat, inv_std, (n, c, h, w) = self._cache
+        self._cache = None
         g = self.num_groups
         m = (c // g) * h * w  # elements per group per sample
         self.weight.grad += (grad_out * x_hat).sum(axis=(0, 2, 3))

@@ -51,6 +51,8 @@ class MaxPool2d(Module):
         # is conserved (an invariant the property tests check).
         g = grad_out / self._tie_counts
         grad_windows = self._mask * g[:, :, :, None, :, None]
+        self._mask = None
+        self._tie_counts = None
         grad = np.zeros(self._x_shape, dtype=grad_out.dtype)
         grad[:, :, :th, :tw] = grad_windows.reshape(n, c, th, tw)
         return grad

@@ -152,4 +152,7 @@ class LSTM(Module):
                 dh_next = dz @ w_hh.data
                 dc_next = dc * s["f"]
             dh_seq = dx_seq  # feeds the layer below
+        # The per-step gate cache holds O(T * layers) activations — by far
+        # the largest retained state; drop it once consumed.
+        self._cache = None
         return dx_seq

@@ -47,15 +47,25 @@ def metrics_to_text(recorder: "TraceRecorder") -> str:
     """Prometheus-style text exposition of the counters and gauges.
 
     Names are sorted so the dump is deterministic; counters follow the
-    ``*_total`` naming convention and are typed accordingly.
+    ``*_total`` naming convention and are typed accordingly. Labelled
+    series (``repro_ipc_bytes_total{transport=...,direction=...}``) share
+    one ``# TYPE`` line per metric family, as the exposition format
+    requires.
     """
     lines: list[str] = []
+    typed: set[str] = set()
+
+    def _append(name: str, kind: str, value: float) -> None:
+        family = name.split("{", 1)[0]
+        if family not in typed:
+            typed.add(family)
+            lines.append(f"# TYPE {family} {kind}")
+        lines.append(f"{name} {_fmt(value)}")
+
     for name in sorted(recorder.counters):
-        lines.append(f"# TYPE {name} counter")
-        lines.append(f"{name} {_fmt(recorder.counters[name])}")
+        _append(name, "counter", recorder.counters[name])
     for name in sorted(recorder.gauges):
-        lines.append(f"# TYPE {name} gauge")
-        lines.append(f"{name} {_fmt(recorder.gauges[name])}")
+        _append(name, "gauge", recorder.gauges[name])
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -17,6 +17,13 @@ from .export import (
 from .history import RoundRecord, RunHistory
 from .parallel import ParallelExecutor
 from .round import ClientRoundResult, RoundContext
+from .transport import (
+    PipeTransport,
+    ShmTransport,
+    Transport,
+    resolve_transport,
+    shm_available,
+)
 from .selection import select_clients
 from .simulator import FederatedSimulator
 
@@ -27,6 +34,11 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "resolve_executor",
+    "Transport",
+    "PipeTransport",
+    "ShmTransport",
+    "resolve_transport",
+    "shm_available",
     "RoundContext",
     "ClientRoundResult",
     "RoundRecord",

@@ -60,7 +60,20 @@ class Executor(ABC):
         """Execute every job and return results in job order."""
 
     def close(self) -> None:
-        """Release any engine resources (processes, pipes). Idempotent."""
+        """Release any engine resources (processes, pipes, shared-memory
+        arenas). Idempotent."""
+
+    def set_recorder(self, recorder) -> None:
+        """Attach the simulator's telemetry sink (see :mod:`repro.obs`).
+
+        Engines with observable internals (the parallel engine's IPC byte
+        counters) mirror them as recorder counters; the default engine has
+        nothing to report. Counters never enter the JSONL event trace, so
+        this hook cannot break trace determinism."""
+
+    def ipc_stats(self) -> dict[str, float]:
+        """Cumulative IPC metrics for benches; empty for in-process engines."""
+        return {}
 
     def capture_run_state(self) -> dict:
         """Snapshot the evolved per-client and per-client-strategy state
@@ -128,9 +141,12 @@ class SerialExecutor(Executor):
 def resolve_executor(spec: "Executor | str | None") -> Executor:
     """Turn an executor spec into an engine instance.
 
-    ``None``/``"serial"`` → :class:`SerialExecutor`; ``"parallel"`` or
-    ``"parallel:N"`` → :class:`~repro.runtime.parallel.ParallelExecutor`
-    (with N workers); an :class:`Executor` instance passes through.
+    ``None``/``"serial"`` → :class:`SerialExecutor`;
+    ``"parallel[:N][@transport]"`` →
+    :class:`~repro.runtime.parallel.ParallelExecutor` with N workers and
+    the given IPC transport (``auto``/``shm``/``pipe``, see
+    :mod:`repro.runtime.transport`) — e.g. ``"parallel:4@shm"``; an
+    :class:`Executor` instance passes through.
     """
     if spec is None:
         return SerialExecutor()
@@ -140,17 +156,26 @@ def resolve_executor(spec: "Executor | str | None") -> Executor:
         key = spec.strip().lower()
         if key == "serial":
             return SerialExecutor()
-        if key == "parallel" or key.startswith("parallel:"):
+        if key == "parallel" or key.startswith(("parallel:", "parallel@")):
             from .parallel import ParallelExecutor
+            from .transport import TRANSPORT_CHOICES
 
+            transport = "auto"
+            if "@" in key:
+                key, transport = key.split("@", 1)
+                if transport not in TRANSPORT_CHOICES:
+                    raise ValueError(
+                        f"bad transport in executor spec {spec!r}; expected "
+                        f"one of {TRANSPORT_CHOICES}"
+                    )
+            workers = None
             if ":" in key:
                 try:
                     workers = int(key.split(":", 1)[1])
                 except ValueError:
                     raise ValueError(f"bad worker count in executor spec {spec!r}")
-                return ParallelExecutor(workers=workers)
-            return ParallelExecutor()
+            return ParallelExecutor(workers=workers, transport=transport)
     raise ValueError(
-        f"unknown executor spec {spec!r}; expected 'serial', 'parallel[:N]' "
-        "or an Executor instance"
+        f"unknown executor spec {spec!r}; expected 'serial', "
+        "'parallel[:N][@transport]' or an Executor instance"
     )

@@ -4,11 +4,25 @@
 round runs. Each worker inherits (via ``fork``) the simulator's fully
 initialised client replicas *and* a replica of the strategy, and keeps them
 resident for the whole run — there is no per-round pickling of clients,
-models or data shards. Per round, the parent sends each busy worker one
-message: the global state (and buffers), serialised **once** through the
-``.npz`` codec in :mod:`repro.nn.serialize`, plus that worker's job list;
-the worker sends back its :class:`~repro.runtime.round.ClientRoundResult`
-batch.
+models or data shards.
+
+How the per-round data moves is pluggable (see
+:mod:`repro.runtime.transport`):
+
+* ``shm`` (default where available): the global model is written **once**
+  into a shared-memory arena all workers map read-only and zero-copy, and
+  each worker returns its result arrays through its own result arena.
+  Pipes carry only small control messages (job lists, scalar stats, trace
+  events, generation counters).
+* ``pipe`` (fallback, PR 1's protocol): the broadcast is serialised once
+  through the ``.npz`` codec and pickled down every worker pipe; results
+  are pickled back whole.
+
+Control messages are framed as explicit ``pickle`` blobs over
+``send_bytes``/``recv_bytes`` so every pipe byte is metered exactly; the
+counters surface as ``repro_ipc_bytes_total{transport,direction}`` and
+``repro_ipc_broadcast_seconds`` (recorder counters and
+:meth:`ParallelExecutor.ipc_stats`).
 
 Determinism
 -----------
@@ -18,46 +32,51 @@ routing), so every stateful per-client object — the cyclic
 :class:`~repro.sysmodel.speed.SpeedTrace`, FedCA's per-client profiled
 curves — evolves in exactly one process, in exactly the order it would have
 evolved serially. Results are reassembled in the simulator's job order
-(sorted client ids). Serial and parallel runs therefore produce
-**bitwise-identical** :class:`~repro.runtime.history.RunHistory` objects;
-``tests/test_executor.py`` asserts this for FedAvg and FedCA.
+(sorted client ids). Serial, ``parallel:N@pipe`` and ``parallel:N@shm``
+runs therefore produce **bitwise-identical**
+:class:`~repro.runtime.history.RunHistory` objects *and* telemetry traces;
+``tests/test_executor.py`` asserts both for FedAvg and FedCA.
 
 Telemetry events recorded inside a worker (FedCA decision introspection,
 see :mod:`repro.obs`) ride back on the ``trace`` field of each
 :class:`~repro.runtime.round.ClientRoundResult` — simulated-time-keyed
 dicts, no live recorder handles cross the process boundary. The simulator
 merges them into the parent recorder in job order, so the trace stream is
-byte-identical to a serial run's (also asserted in
-``tests/test_executor.py``).
+byte-identical to a serial run's regardless of the transport.
 
 Fallback
 --------
 * Platforms without the ``fork`` start method get a transparent
   :class:`~repro.runtime.executor.SerialExecutor` delegate (still
   deterministic, just not parallel).
-* If a worker process dies mid-run, the unfinished jobs of that round — and
-  every later round — run serially on the parent's replicas. The run
-  completes, but because the parent replicas did not observe the rounds the
-  dead pool executed, the bitwise-determinism guarantee is void from the
-  crash onward (a warning says so).
+* Platforms without working POSIX shared memory resolve ``transport="auto"``
+  to ``pipe`` with a logged reason; requesting ``shm`` explicitly raises.
+* If a worker process dies mid-run, the pool (and its arenas) is torn down
+  and the unfinished jobs of that round — and every later round — run
+  serially on the parent's replicas. The run completes, but because the
+  parent replicas did not observe the rounds the dead pool executed, the
+  bitwise-determinism guarantee is void from the crash onward (a warning
+  says so, and checkpointing refuses).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import traceback
 import warnings
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
-from ..nn.serialize import state_from_bytes, state_to_bytes
 from .executor import ClientJob, Executor, SerialExecutor
 from .round import ClientRoundResult
+from .transport import Transport, make_transport, resolve_transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..algorithms.base import Strategy
+    from ..obs import Recorder
     from .client import SimClient
 
 __all__ = ["ParallelExecutor", "WorkerCrash", "fork_available", "default_workers"]
@@ -80,44 +99,70 @@ class WorkerCrash(RuntimeError):
     """A worker process exited without returning its round results."""
 
 
-def _worker_main(conn, clients, strategy, owned_ids) -> None:
+def _send(conn, obj: Any) -> int:
+    """Pickle ``obj`` down ``conn`` explicitly; returns the byte count."""
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    conn.send_bytes(blob)
+    return len(blob)
+
+
+def _recv(conn) -> tuple[Any, int]:
+    """Inverse of :func:`_send`; returns ``(object, byte count)``."""
+    blob = conn.recv_bytes()
+    return pickle.loads(blob), len(blob)
+
+
+def _worker_main(pairs, clients, strategy, owned_ids, transport, worker_index) -> None:
     """Worker loop: resident clients, one recv/send pair per round.
 
-    Runs in the forked child. ``clients``/``strategy`` arrive by fork
-    inheritance (never pickled); ``owned_ids`` is informational.
+    Runs in the forked child. ``clients``/``strategy``/``transport`` arrive
+    by fork inheritance (never pickled); ``owned_ids`` is informational.
+    ``pairs`` is every worker's ``(parent_conn, child_conn)`` — this worker
+    keeps only its own child end and closes the rest, so a dead parent
+    reliably turns into EOF here rather than a forever-blocked recv.
     """
+    conn = pairs[worker_index][1]
+    for w, (parent_conn, child_conn) in enumerate(pairs):
+        parent_conn.close()
+        if w != worker_index:
+            child_conn.close()
+    transport.worker_init(worker_index)
+    state = buffers = None
     try:
         while True:
-            msg = conn.recv()
+            msg, _ = _recv(conn)
             if msg[0] == "stop":
                 return
             if msg[0] == "capture":
                 # Checkpoint support: the evolved cross-round state of the
                 # owned clients (and the strategy replica's view of them)
-                # lives only in this process — snapshot and ship it back.
+                # lives only in this process — snapshot and ship it back
+                # through the transport's result path.
                 try:
                     snapshot = (
                         {cid: clients[cid].capture_state() for cid in owned_ids},
                         strategy.capture_client_states(list(owned_ids)),
                     )
-                    conn.send(("ok", snapshot))
+                    _send(conn, ("ok", transport.encode_capture(snapshot)))
                 except Exception:
-                    conn.send(("err", traceback.format_exc()))
+                    _send(conn, ("err", traceback.format_exc()))
                 continue
-            _, state_blob, buffers_blob, jobs = msg
+            _, extra, jobs = msg
             try:
-                state = state_from_bytes(state_blob)
-                buffers = (
-                    {} if buffers_blob is None else state_from_bytes(buffers_blob)
-                )
+                state, buffers = transport.read_broadcast(extra)
                 out: list[ClientRoundResult] = []
                 for cid, ctx in jobs:
                     client = clients[cid]
                     client.stage_buffers(buffers)
                     out.append(strategy.client_round(client, state, ctx))
-                conn.send(("ok", out))
+                _send(conn, ("ok", transport.encode_results(out)))
             except Exception:
-                conn.send(("err", traceback.format_exc()))
+                _send(conn, ("err", traceback.format_exc()))
+            finally:
+                # Drop any zero-copy views into the broadcast arena before
+                # the next round overwrites it (and before process exit
+                # unmaps it under live exports).
+                state = buffers = None
     except (EOFError, KeyboardInterrupt, BrokenPipeError):  # parent went away
         pass
     finally:
@@ -133,14 +178,24 @@ class ParallelExecutor(Executor):
         Pool size; defaults to the usable core count. One worker reproduces
         the serial schedule in a child process (useful for isolating
         fork-related issues from parallelism issues).
+    transport:
+        IPC backend for the bulk payloads: ``"auto"`` (default — shared
+        memory where available, else pipes), ``"shm"`` or ``"pipe"``. See
+        :mod:`repro.runtime.transport`.
     """
 
     name = "parallel"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self, workers: int | None = None, *, transport: str = "auto"
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers or default_workers()
+        self.transport_spec = transport
+        self.transport: str | None = None  # resolved at bind time
+        self._transport_impl: Transport | None = None
+        self._recorder: "Recorder | None" = None
         self._clients: Sequence["SimClient"] | None = None
         self._strategy: "Strategy" | None = None
         self._procs: list[mp.process.BaseProcess] = []
@@ -153,6 +208,7 @@ class ParallelExecutor(Executor):
     def bind(self, clients: Sequence["SimClient"], strategy: "Strategy") -> None:
         self._clients = clients
         self._strategy = strategy
+        self.transport = resolve_transport(self.transport_spec)
         if not fork_available():
             warnings.warn(
                 "platform lacks the 'fork' start method; "
@@ -162,6 +218,11 @@ class ParallelExecutor(Executor):
             )
             self._degrade()
 
+    def set_recorder(self, recorder: "Recorder | None") -> None:
+        self._recorder = recorder
+        if self._transport_impl is not None:
+            self._transport_impl.set_recorder(recorder)
+
     def _degrade(self) -> None:
         """Route all remaining work through a serial engine on the parent
         replicas."""
@@ -170,26 +231,72 @@ class ParallelExecutor(Executor):
         self._fallback.bind(self._clients, self._strategy)
 
     # ------------------------------------------------------------------
-    def _start(self) -> None:
-        """Fork the pool. Must happen before any round has run, so the
-        children inherit the clients in their initial (seeded) state."""
+    def _start(
+        self,
+        global_state: dict[str, np.ndarray],
+        global_buffers: dict[str, np.ndarray],
+    ) -> None:
+        """Allocate the transport and fork the pool. Must happen before any
+        round has run, so the children inherit the clients in their initial
+        (seeded) state — and the transport's arenas by the same fork."""
+        owned_per_worker = [
+            [c.client_id for c in self._clients if c.client_id % self.workers == w]
+            for w in range(self.workers)
+        ]
+        transport = make_transport(self.transport)
+        try:
+            transport.setup(
+                global_state, global_buffers, [len(o) for o in owned_per_worker]
+            )
+        except Exception as exc:
+            if self.transport == "pipe":
+                raise
+            warnings.warn(
+                f"{self.transport} transport setup failed ({exc!r}); "
+                "falling back to the pipe transport",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            transport.close()
+            self.transport = "pipe"
+            transport = make_transport("pipe")
+        transport.set_recorder(self._recorder)
+        self._transport_impl = transport
         ctx = mp.get_context("fork")
+        # All pipes are created before any fork so each child can close the
+        # fds that aren't its own. If a child kept another pipe's parent end
+        # open (fork inherits every fd created so far), workers would never
+        # see EOF after a parent SIGKILL — they'd orphan forever and keep
+        # the shm segments registered with the resource tracker.
+        pairs = [ctx.Pipe(duplex=True) for _ in range(self.workers)]
         for w in range(self.workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            owned = [
-                c.client_id for c in self._clients if c.client_id % self.workers == w
-            ]
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, self._clients, self._strategy, owned),
+                args=(
+                    pairs,
+                    self._clients,
+                    self._strategy,
+                    owned_per_worker[w],
+                    transport,
+                    w,
+                ),
                 daemon=True,
                 name=f"repro-worker-{w}",
             )
             proc.start()
-            child_conn.close()
             self._procs.append(proc)
+        for w, (parent_conn, child_conn) in enumerate(pairs):
+            child_conn.close()
             self._conns.append(parent_conn)
         self._started = True
+
+    # ------------------------------------------------------------------
+    def ipc_stats(self) -> dict[str, float]:
+        """Cumulative transport metrics (bytes per channel/direction and
+        broadcast staging seconds) for benches and reports."""
+        if self._transport_impl is None:
+            return {}
+        return dict(self._transport_impl.stats)
 
     # ------------------------------------------------------------------
     def run_round(
@@ -203,20 +310,24 @@ class ParallelExecutor(Executor):
         if self._clients is None or self._strategy is None:
             raise RuntimeError("executor not bound; construct it via FederatedSimulator")
         if not self._started:
-            self._start()
-
-        # Broadcast once: one codec pass regardless of client/worker count.
-        state_blob = state_to_bytes(global_state)
-        buffers_blob = state_to_bytes(global_buffers) if global_buffers else None
+            self._start(global_state, global_buffers)
+        transport = self._transport_impl
 
         per_worker: dict[int, list[ClientJob]] = {}
         for cid, ctx in jobs:
             per_worker.setdefault(cid % self.workers, []).append((cid, ctx))
+        if not per_worker:
+            return []
+
+        # Stage the broadcast once: one codec/memcpy pass regardless of
+        # client/worker count.
+        extra = transport.broadcast(global_state, global_buffers)
 
         crashed = False
         for w, wjobs in per_worker.items():
             try:
-                self._conns[w].send(("round", state_blob, buffers_blob, wjobs))
+                sent = _send(self._conns[w], ("round", extra, wjobs))
+                transport.count_pipe("broadcast", sent)
             except (BrokenPipeError, OSError):
                 crashed = True
 
@@ -224,17 +335,18 @@ class ParallelExecutor(Executor):
         if not crashed:
             for w, wjobs in per_worker.items():
                 try:
-                    tag, payload = self._conns[w].recv()
+                    (tag, payload), received = _recv(self._conns[w])
                 except (EOFError, OSError):
                     crashed = True
                     break
+                transport.count_pipe("results", received)
                 if tag == "err":
                     # Deterministic strategy/client exception: it would have
                     # happened serially too, so propagate instead of degrading.
                     raise RuntimeError(
                         f"client round failed in worker {w}:\n{payload}"
                     )
-                for result in payload:
+                for result in transport.decode_results(w, payload):
                     by_cid[result.client_id] = result
 
         if crashed:
@@ -276,21 +388,27 @@ class ParallelExecutor(Executor):
             serial = SerialExecutor()
             serial.bind(self._clients, self._strategy)
             return serial.capture_run_state()
+        transport = self._transport_impl
         for conn in self._conns:
             try:
-                conn.send(("capture",))
+                sent = _send(conn, ("capture",))
+                # Capture traffic scales with checkpoint cadence, which the
+                # resume bitwise oracle does not control for — keep it out
+                # of the recorder counters.
+                transport.count_pipe("capture", sent, mirror=False)
             except (BrokenPipeError, OSError) as exc:
                 raise WorkerCrash("worker died during state capture") from exc
         clients: dict = {}
         strategy: dict = {}
         for w, conn in enumerate(self._conns):
             try:
-                tag, payload = conn.recv()
+                (tag, payload), received = _recv(conn)
             except (EOFError, OSError) as exc:
                 raise WorkerCrash("worker died during state capture") from exc
+            transport.count_pipe("capture", received, mirror=False)
             if tag == "err":
                 raise RuntimeError(f"state capture failed in worker {w}:\n{payload}")
-            worker_clients, worker_strategy = payload
+            worker_clients, worker_strategy = transport.decode_capture(w, payload)
             clients.update(worker_clients)
             strategy.update(worker_strategy)
         return {"clients": clients, "strategy": strategy}
@@ -299,7 +417,7 @@ class ParallelExecutor(Executor):
     def _shutdown_pool(self) -> None:
         for conn in self._conns:
             try:
-                conn.send(("stop",))
+                _send(conn, ("stop",))
             except (BrokenPipeError, OSError):
                 pass
             try:
@@ -314,10 +432,16 @@ class ParallelExecutor(Executor):
         self._procs.clear()
         self._conns.clear()
         self._started = False
+        if self._transport_impl is not None:
+            # Workers are gone (or going): the arenas must not outlive the
+            # pool, whatever the shutdown path.
+            self._transport_impl.close()
 
     def close(self) -> None:
         if self._started:
             self._shutdown_pool()
+        elif self._transport_impl is not None:
+            self._transport_impl.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC-order dependent
         try:

@@ -179,6 +179,7 @@ class FederatedSimulator:
         # initial seeded state (ParallelExecutor forks replicas from here).
         self.executor = resolve_executor(executor)
         self.executor.bind(self.clients, self.strategy)
+        self.executor.set_recorder(self.recorder)
 
     # ------------------------------------------------------------------
     # Checkpoint/resume (see repro.persist — imported lazily so the
@@ -220,6 +221,7 @@ class FederatedSimulator:
         not re-emitted into an already-written trace), restores the
         recorder's own state, then attaches it here."""
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.executor.set_recorder(self.recorder)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -1,0 +1,521 @@
+"""IPC transports for the parallel executor.
+
+:class:`~repro.runtime.parallel.ParallelExecutor` moves three kinds of data
+between the parent and its persistent workers every round:
+
+1. the global model broadcast (params + buffers) — large, identical for
+   every worker;
+2. the per-client :class:`~repro.runtime.round.ClientRoundResult` payloads
+   (per-layer updates, buffer deltas) — large, one batch per worker;
+3. control traffic (job lists, scalar stats, trace events, generation
+   counters) — small.
+
+A :class:`Transport` decides where 1 and 2 travel; 3 always rides the
+worker pipes. Two backends ship:
+
+* :class:`PipeTransport` — PR 1's behavior: the broadcast is serialised
+  once through the ``.npz`` codec and pickled down every worker pipe;
+  results are pickled back whole. Works everywhere.
+* :class:`ShmTransport` — the broadcast is written **once** into a
+  ``multiprocessing.shared_memory`` arena (versioned header + per-layer
+  offset table, see :func:`repro.nn.serialize.pack_state`) that all
+  workers map read-only and zero-copy, and each worker returns its result
+  arrays through its own result arena sized from the model fingerprint.
+  Pipes carry only control messages. One memcpy per round instead of N
+  pipe serialisations.
+
+Byte accounting
+---------------
+Both backends meter traffic into ``stats`` under Prometheus-style names
+``repro_ipc_bytes_total{transport=...,direction=...}`` where ``transport``
+is the channel the bytes moved through (``pipe`` or ``shm``) and
+``direction`` is ``broadcast`` (parent→worker) or ``results``
+(worker→parent). ``repro_ipc_broadcast_seconds`` accumulates the parent's
+wall-clock cost of staging each round's broadcast. When a recorder is
+attached (see :meth:`Transport.set_recorder`) the same names are mirrored
+as recorder counters; counters never enter the JSONL event trace, so
+serial / ``pipe`` / ``shm`` traces stay byte-identical.
+
+Cleanup invariants
+------------------
+Shared-memory segments are unlinked on pool shutdown, worker death (the
+executor tears the pool down before degrading) and interpreter exit
+(``atexit``); only the creating process ever unlinks. A SIGKILLed parent
+is covered by Python's ``multiprocessing.resource_tracker``, which reaps
+registered segments once every process holding them has died — so
+crash-resume CI leaves ``/dev/shm`` clean.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import os
+import pickle
+import secrets
+import struct
+import time
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..nn.serialize import (
+    pack_state,
+    packed_state_nbytes,
+    state_from_bytes,
+    state_to_bytes,
+    unpack_state,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Recorder
+    from .round import ClientRoundResult
+
+__all__ = [
+    "Transport",
+    "PipeTransport",
+    "ShmTransport",
+    "shm_available",
+    "resolve_transport",
+    "make_transport",
+    "ipc_bytes_counter",
+    "BROADCAST_SECONDS",
+    "TRANSPORT_CHOICES",
+    "SEGMENT_PREFIX",
+]
+
+logger = logging.getLogger("repro.runtime.transport")
+
+#: CLI/spec-level transport names (``auto`` resolves at bind time).
+TRANSPORT_CHOICES = ("auto", "shm", "pipe")
+
+#: ``/dev/shm`` name prefix for every segment this module creates — lets
+#: tests (and CI) assert no segments leak.
+SEGMENT_PREFIX = "repro-ipc"
+
+BROADCAST_SECONDS = "repro_ipc_broadcast_seconds"
+
+#: Broadcast-arena preamble: magic(8) + version(u32) + pad(u32) +
+#: generation(u64). The packed state blocks start at _ARENA_DATA_OFFSET.
+_SHM_MAGIC = b"RPROSHM1"
+_SHM_VERSION = 1
+_SHM_HEADER = struct.Struct("<8sIIQ")
+_ARENA_DATA_OFFSET = 64
+
+
+def ipc_bytes_counter(transport: str, direction: str) -> str:
+    """Metric name for bytes moved through one channel in one direction."""
+    return (
+        f'repro_ipc_bytes_total{{transport="{transport}",'
+        f'direction="{direction}"}}'
+    )
+
+
+def shm_available() -> tuple[bool, str]:
+    """Whether POSIX shared memory actually works here, with the reason.
+
+    Checks the import (Python ≥ 3.8 semantics) and probes a real segment:
+    containers without a usable ``/dev/shm`` fail the probe, not the
+    import.
+    """
+    try:
+        from multiprocessing import shared_memory
+    except ImportError as exc:  # pragma: no cover - py<3.8 only
+        return False, f"multiprocessing.shared_memory unavailable: {exc}"
+    try:
+        probe = shared_memory.SharedMemory(
+            create=True, size=64, name=f"{SEGMENT_PREFIX}-probe-{os.getpid()}"
+        )
+    except Exception as exc:
+        return False, f"shared-memory probe failed: {exc!r}"
+    probe.close()
+    probe.unlink()
+    return True, ""
+
+
+def resolve_transport(spec: str) -> str:
+    """Resolve a transport spec to an effective backend name.
+
+    ``pipe`` is always honoured; ``shm`` raises if the platform can't do
+    it; ``auto`` picks ``shm`` where available and logs the fallback
+    reason otherwise.
+    """
+    if spec not in TRANSPORT_CHOICES:
+        raise ValueError(
+            f"unknown transport {spec!r}; expected one of {TRANSPORT_CHOICES}"
+        )
+    if spec == "pipe":
+        return "pipe"
+    ok, reason = shm_available()
+    if spec == "shm":
+        if not ok:
+            raise RuntimeError(f"shm transport requested but unavailable: {reason}")
+        return "shm"
+    if ok:
+        return "shm"
+    logger.warning(
+        "shared-memory transport unavailable (%s); falling back to pipe", reason
+    )
+    return "pipe"
+
+
+def make_transport(effective: str) -> "Transport":
+    """Instantiate the backend for an already-resolved transport name."""
+    if effective == "shm":
+        return ShmTransport()
+    if effective == "pipe":
+        return PipeTransport()
+    raise ValueError(f"unresolved transport name {effective!r}")
+
+
+class Transport:
+    """Backend interface; one instance is shared (via fork) by the parent
+    and every worker.
+
+    Parent lifecycle: :meth:`setup` once before the pool forks (the
+    workers must inherit any arenas), :meth:`broadcast` /
+    :meth:`decode_results` / :meth:`decode_capture` per round, and
+    :meth:`close` on pool shutdown. Workers call :meth:`worker_init` first
+    thing and then only the ``read_broadcast`` / ``encode_*`` half.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.stats: dict[str, float] = {}
+        self._recorder: "Recorder | None" = None
+        self._worker_index: int | None = None
+
+    # -- accounting ----------------------------------------------------
+    def set_recorder(self, recorder: "Recorder | None") -> None:
+        self._recorder = recorder if recorder is not None and recorder.enabled else None
+
+    def count(self, name: str, inc: float, *, mirror: bool = True) -> None:
+        """Accumulate into ``stats``; ``mirror=True`` also bumps the
+        recorder counter. Only *deterministic* series may mirror — the
+        resume oracle (:mod:`repro.persist`) asserts recorder counters are
+        identical between an uninterrupted run and a crash-resumed one, so
+        traffic that depends on checkpoint cadence (captures) or on wall
+        time must stay local to ``stats``."""
+        self.stats[name] = self.stats.get(name, 0) + inc
+        if mirror and self._recorder is not None:
+            self._recorder.counter(name, inc)
+
+    def count_pipe(self, direction: str, nbytes: int, *, mirror: bool = True) -> None:
+        """Pipe traffic is metered by the executor (it owns the pipes)."""
+        self.count(ipc_bytes_counter("pipe", direction), nbytes, mirror=mirror)
+
+    def add_broadcast_seconds(self, seconds: float) -> None:
+        """Wall-clock broadcast staging cost: cumulative in ``stats``,
+        surfaced as a recorder *gauge* (wall time is not deterministic, so
+        it must not enter the counter registry the resume oracle compares)."""
+        self.stats[BROADCAST_SECONDS] = (
+            self.stats.get(BROADCAST_SECONDS, 0.0) + seconds
+        )
+        if self._recorder is not None:
+            self._recorder.gauge(BROADCAST_SECONDS, self.stats[BROADCAST_SECONDS])
+
+    # -- parent half ---------------------------------------------------
+    def setup(
+        self,
+        state: dict[str, np.ndarray],
+        buffers: dict[str, np.ndarray],
+        owned_counts: list[int],
+    ) -> None:
+        """Allocate per-pool resources before the workers fork.
+
+        ``owned_counts[w]`` is the number of clients worker ``w`` owns —
+        the upper bound on results it can return per round."""
+
+    def broadcast(
+        self, state: dict[str, np.ndarray], buffers: dict[str, np.ndarray]
+    ) -> Any:
+        """Stage one round's global model; returns the (small) extra that
+        rides the round control message to every worker."""
+        raise NotImplementedError
+
+    def decode_results(self, worker: int, payload: Any) -> "list[ClientRoundResult]":
+        """Recover a worker's result batch from its reply payload."""
+        raise NotImplementedError
+
+    def decode_capture(self, worker: int, payload: Any) -> Any:
+        """Recover a worker's checkpoint snapshot from its reply payload."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (unlink arenas). Idempotent; only
+        meaningful in the creating process."""
+
+    # -- worker half ---------------------------------------------------
+    def worker_init(self, worker: int) -> None:
+        """Called first thing inside the forked worker."""
+        self._worker_index = worker
+        self._recorder = None  # the parent's recorder must not be touched
+
+    def read_broadcast(
+        self, extra: Any
+    ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Recover the round's global (state, buffers) in the worker."""
+        raise NotImplementedError
+
+    def encode_results(self, results: "list[ClientRoundResult]") -> Any:
+        """Stage a worker's result batch; returns the reply payload."""
+        raise NotImplementedError
+
+    def encode_capture(self, snapshot: Any) -> Any:
+        """Stage a worker's checkpoint snapshot; returns the reply payload."""
+        raise NotImplementedError
+
+
+class PipeTransport(Transport):
+    """Everything through the worker pipes (PR 1's protocol).
+
+    The broadcast is serialised once per round via the ``.npz`` codec;
+    the same blobs are pickled into every worker's round message. Results
+    and capture snapshots travel back as pickled payloads. The executor's
+    pipe metering therefore captures the full byte cost — this backend
+    adds no accounting of its own.
+    """
+
+    name = "pipe"
+
+    def broadcast(self, state, buffers):
+        t0 = time.perf_counter()
+        extra = (state_to_bytes(state), state_to_bytes(buffers) if buffers else None)
+        self.add_broadcast_seconds(time.perf_counter() - t0)
+        return extra
+
+    def decode_results(self, worker, payload):
+        return payload
+
+    def decode_capture(self, worker, payload):
+        return payload
+
+    def read_broadcast(self, extra):
+        state_blob, buffers_blob = extra
+        state = state_from_bytes(state_blob)
+        buffers = {} if buffers_blob is None else state_from_bytes(buffers_blob)
+        return state, buffers
+
+    def encode_results(self, results):
+        return results
+
+    def encode_capture(self, snapshot):
+        return snapshot
+
+
+class _Arena:
+    """A named shared-memory segment plus the bookkeeping to clean it up."""
+
+    def __init__(self, name: str, size: int) -> None:
+        from multiprocessing import shared_memory
+
+        self.shm = shared_memory.SharedMemory(create=True, name=name, size=size)
+        self.name = name
+        self.size = self.shm.size
+
+    @property
+    def buf(self):
+        return self.shm.buf
+
+    def destroy(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class ShmTransport(Transport):
+    """Shared-memory arenas for the bulk payloads; pipes for control only.
+
+    Layout per pool:
+
+    * one *broadcast arena*: ``[magic|version|generation]`` preamble, then
+      the packed global state block and (if the model has buffers) the
+      packed buffer block. The parent rewrites it once per round and bumps
+      the generation counter; workers verify the generation from the round
+      message before mapping the blocks zero-copy and read-only.
+    * one *result arena per worker*, sized from the model fingerprint
+      (every owned client can return at most one full update + buffer
+      delta per round). Workers pack result arrays sequentially and send
+      only ``(offset, offset)`` references down the pipe; a result that
+      ever outgrows the arena (e.g. a strategy returning extra payloads)
+      falls back to inline pickling for just that result.
+
+    Checkpoint captures ride the same arenas: the worker pickles its
+    snapshot into its result arena and pipes back just the length.
+    """
+
+    name = "shm"
+
+    #: Per-block headroom over the model-fingerprint estimate, so header
+    #: growth (longer names, dtype changes) never forces the inline path.
+    _SLACK = 4096
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._broadcast: _Arena | None = None
+        self._results: list[_Arena] = []
+        self._generation = 0
+        self._creator_pid = os.getpid()
+        self._closed = False
+        self._atexit_registered = False
+
+    # -- parent half ---------------------------------------------------
+    def setup(self, state, buffers, owned_counts):
+        token = secrets.token_hex(4)
+        state_nbytes = packed_state_nbytes(state)
+        buffers_nbytes = packed_state_nbytes(buffers) if buffers else 0
+        bsize = _ARENA_DATA_OFFSET + state_nbytes + buffers_nbytes + self._SLACK
+        self._broadcast = _Arena(
+            f"{SEGMENT_PREFIX}-{os.getpid()}-{token}-b", bsize
+        )
+        hdr = self._broadcast.buf
+        _SHM_HEADER.pack_into(hdr, 0, _SHM_MAGIC, _SHM_VERSION, 0, 0)
+        per_result = state_nbytes + buffers_nbytes + 512
+        for w, owned in enumerate(owned_counts):
+            rsize = max(1, owned) * per_result + self._SLACK
+            self._results.append(
+                _Arena(f"{SEGMENT_PREFIX}-{os.getpid()}-{token}-r{w}", rsize)
+            )
+        if not self._atexit_registered:
+            atexit.register(self.close)
+            self._atexit_registered = True
+
+    def broadcast(self, state, buffers):
+        assert self._broadcast is not None, "setup() must run before broadcast()"
+        t0 = time.perf_counter()
+        self._generation += 1
+        state_off = _ARENA_DATA_OFFSET
+        nbytes = pack_state(self._broadcast.buf, state, state_off)
+        buffers_off = None
+        total = nbytes
+        if buffers:
+            buffers_off = state_off + nbytes
+            total += pack_state(self._broadcast.buf, buffers, buffers_off)
+        _SHM_HEADER.pack_into(
+            self._broadcast.buf, 0, _SHM_MAGIC, _SHM_VERSION, 0, self._generation
+        )
+        self.add_broadcast_seconds(time.perf_counter() - t0)
+        self.count(ipc_bytes_counter("shm", "broadcast"), total)
+        return (self._generation, state_off, buffers_off)
+
+    def decode_results(self, worker, payload):
+        arena = self._results[worker]
+        results = []
+        shm_bytes = 0
+        for kind, stripped, ref in payload:
+            if kind == "inline":
+                results.append(stripped)
+                continue
+            update_off, buffers_off, nbytes = ref
+            stripped.update = unpack_state(arena.buf, update_off, copy=True)
+            if buffers_off is not None:
+                stripped.buffers = unpack_state(arena.buf, buffers_off, copy=True)
+            shm_bytes += nbytes
+            results.append(stripped)
+        if shm_bytes:
+            self.count(ipc_bytes_counter("shm", "results"), shm_bytes)
+        return results
+
+    def decode_capture(self, worker, payload):
+        kind, ref = payload
+        if kind == "inline":
+            return ref
+        nbytes = ref
+        arena = self._results[worker]
+        snapshot = pickle.loads(bytes(arena.buf[:nbytes]))
+        # Capture traffic depends on checkpoint cadence, so it must not
+        # mirror into the recorder counters (see Transport.count).
+        self.count(ipc_bytes_counter("shm", "capture"), nbytes, mirror=False)
+        return snapshot
+
+    def segment_names(self) -> list[str]:
+        """The ``/dev/shm`` names this pool owns (for leak checks)."""
+        names = [a.name for a in self._results]
+        if self._broadcast is not None:
+            names.append(self._broadcast.name)
+        return names
+
+    def close(self) -> None:
+        if self._closed or os.getpid() != self._creator_pid:
+            # Workers (and any other inheritor) must never unlink the
+            # creator's segments; their mappings die with the process.
+            return
+        self._closed = True
+        for arena in self._results:
+            arena.destroy()
+        if self._broadcast is not None:
+            self._broadcast.destroy()
+        self._results = []
+        self._broadcast = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- worker half ---------------------------------------------------
+    def read_broadcast(self, extra):
+        generation, state_off, buffers_off = extra
+        assert self._broadcast is not None
+        magic, version, _, written = _SHM_HEADER.unpack_from(self._broadcast.buf, 0)
+        if magic != _SHM_MAGIC or version != _SHM_VERSION:
+            raise RuntimeError(
+                f"broadcast arena corrupt: magic={magic!r} version={version}"
+            )
+        if written != generation:
+            raise RuntimeError(
+                f"broadcast generation mismatch: arena has {written}, "
+                f"round message says {generation}"
+            )
+        state = unpack_state(self._broadcast.buf, state_off, copy=False)
+        buffers = (
+            {}
+            if buffers_off is None
+            else unpack_state(self._broadcast.buf, buffers_off, copy=False)
+        )
+        return state, buffers
+
+    def encode_results(self, results):
+        import dataclasses
+
+        assert self._worker_index is not None
+        arena = self._results[self._worker_index]
+        payload = []
+        cursor = 0
+        for result in results:
+            need = packed_state_nbytes(result.update)
+            buf_need = packed_state_nbytes(result.buffers) if result.buffers else 0
+            if cursor + need + buf_need > arena.size:
+                # Shouldn't happen with fingerprint sizing, but a strategy
+                # returning oversized payloads degrades gracefully to the
+                # pipe for this result only.
+                payload.append(("inline", result, None))
+                continue
+            update_off = cursor
+            nbytes = pack_state(arena.buf, result.update, update_off)
+            cursor = update_off + nbytes
+            buffers_off = None
+            if result.buffers:
+                buffers_off = cursor
+                cursor += pack_state(arena.buf, result.buffers, buffers_off)
+            stripped = dataclasses.replace(result, update={}, buffers={})
+            payload.append(
+                ("shm", stripped, (update_off, buffers_off, cursor - update_off))
+            )
+        return payload
+
+    def encode_capture(self, snapshot):
+        assert self._worker_index is not None
+        arena = self._results[self._worker_index]
+        blob = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(blob) > arena.size:
+            return ("inline", snapshot)
+        arena.buf[: len(blob)] = blob
+        return ("shm_pickle", len(blob))

@@ -16,8 +16,10 @@ from repro.runtime import (
     RunHistory,
     SerialExecutor,
     resolve_executor,
+    shm_available,
 )
 from repro.runtime.parallel import fork_available
+from repro.runtime.transport import ipc_bytes_counter
 
 OPT = OptimizerSpec(lr=0.05, weight_decay=0.01)
 NUM_CLIENTS = 5
@@ -72,6 +74,9 @@ def history_fingerprint(hist: RunHistory):
 
 needs_fork = pytest.mark.skipif(
     not fork_available(), reason="platform lacks the fork start method"
+)
+needs_shm = pytest.mark.skipif(
+    not shm_available()[0], reason="platform lacks POSIX shared memory"
 )
 
 
@@ -281,6 +286,107 @@ class TestFallbackWithoutFork:
         assert history_fingerprint(sim.run(2)) == history_fingerprint(ref)
 
 
+class TestTransportMatrix:
+    """Tentpole invariant: every transport is an implementation detail.
+
+    Histories AND JSONL traces must come out byte-identical whether a round
+    runs serially, over pipes, or through the shared-memory arenas — at both
+    1 and 4 workers, for the stateless (FedAvg) and stateful (FedCA) paths.
+    """
+
+    @needs_fork
+    @needs_shm
+    @pytest.mark.parametrize("scheme", ["fedavg", "fedca"])
+    def test_bitwise_identical_histories_and_traces(self, env_data, scheme):
+        ref_hist, ref_jsonl, _ = TestTraceDeterminism.run_traced(
+            env_data, scheme, "serial"
+        )
+        assert ref_jsonl  # non-vacuous baseline
+        for workers in (1, 4):
+            for transport in ("pipe", "shm"):
+                spec = f"parallel:{workers}@{transport}"
+                hist, jsonl, _ = TestTraceDeterminism.run_traced(
+                    env_data, scheme, spec
+                )
+                assert history_fingerprint(hist) == history_fingerprint(
+                    ref_hist
+                ), spec
+                assert jsonl == ref_jsonl, spec
+
+    @needs_fork
+    @needs_shm
+    def test_shm_demotes_pipes_to_control_messages(self, env_data):
+        stats = {}
+        for transport in ("pipe", "shm"):
+            executor = ParallelExecutor(workers=2, transport=transport)
+            with make_sim(env_data, "fedavg", executor=executor) as sim:
+                sim.run(2)
+                stats[transport] = executor.ipc_stats()
+        key = ipc_bytes_counter("pipe", "broadcast")
+        # With shm, the model rides the arena and pipes carry only job
+        # control — the acceptance bar is >= 5x fewer pipe bytes.
+        assert stats["shm"][key] * 5 <= stats["pipe"][key]
+        # The model bytes show up on the shm channel instead.
+        assert stats["shm"][ipc_bytes_counter("shm", "broadcast")] > 0
+        assert ipc_bytes_counter("shm", "broadcast") not in stats["pipe"]
+
+
+class TestShmLifecycle:
+    @needs_fork
+    @needs_shm
+    def test_segments_unlinked_on_close(self, env_data):
+        from pathlib import Path
+
+        executor = ParallelExecutor(workers=2, transport="shm")
+        sim = make_sim(env_data, "fedavg", executor=executor)
+        sim.run_round()
+        names = executor._transport_impl.segment_names()
+        assert len(names) == 3  # broadcast arena + one result arena per worker
+        assert all((Path("/dev/shm") / n).exists() for n in names)
+        sim.close()
+        assert all(not (Path("/dev/shm") / n).exists() for n in names)
+
+    @needs_fork
+    @needs_shm
+    def test_worker_death_cleans_segments_and_refuses_checkpoint(self, env_data):
+        from pathlib import Path
+
+        executor = ParallelExecutor(workers=2, transport="shm")
+        with make_sim(env_data, "fedavg", executor=executor) as sim:
+            sim.run_round()
+            names = executor._transport_impl.segment_names()
+            executor._procs[0].terminate()
+            executor._procs[0].join()
+            with pytest.warns(RuntimeWarning, match="worker died"):
+                sim.run_round()
+            assert executor._fallback is not None
+            # Degradation tears the arenas down with the pool.
+            assert all(not (Path("/dev/shm") / n).exists() for n in names)
+            # The degraded pool still refuses to checkpoint (PR 3 invariant).
+            with pytest.raises(RuntimeError, match="worker-crash fallback"):
+                executor.capture_run_state()
+            # The run itself continues serially with a coherent history.
+            sim.run_round()
+            assert sim.history.num_rounds == 3
+
+    @needs_fork
+    def test_setup_failure_falls_back_to_pipe(self, env_data, monkeypatch):
+        def boom(self, state, buffers, owned_counts):
+            raise OSError("no shared memory for you")
+
+        from repro.runtime.transport import ShmTransport
+
+        monkeypatch.setattr(ShmTransport, "setup", boom)
+        executor = ParallelExecutor(workers=2, transport="shm")
+        with pytest.warns(RuntimeWarning, match="falling back to the pipe"):
+            with make_sim(env_data, "fedavg", executor=executor) as sim:
+                sim.run_round()
+                assert executor.transport == "pipe"
+        ref = make_sim(env_data, "fedavg", executor="serial").run(1)
+        # The fallback round is still bitwise-faithful.
+        assert history_fingerprint(sim.history) == history_fingerprint(ref)
+
+
 class TestResolveExecutor:
     def test_default_is_serial(self):
         assert isinstance(resolve_executor(None), SerialExecutor)
@@ -291,6 +397,15 @@ class TestResolveExecutor:
         assert isinstance(ex, ParallelExecutor)
         assert ex.workers == 3
         assert isinstance(resolve_executor("parallel"), ParallelExecutor)
+
+    def test_transport_specs(self):
+        ex = resolve_executor("parallel:2@pipe")
+        assert ex.workers == 2
+        assert ex.transport_spec == "pipe"
+        assert resolve_executor("parallel@shm").transport_spec == "shm"
+        assert resolve_executor("parallel:2").transport_spec == "auto"
+        with pytest.raises(ValueError, match="transport"):
+            resolve_executor("parallel:2@carrier-pigeon")
 
     def test_instance_passthrough(self):
         ex = SerialExecutor()

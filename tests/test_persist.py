@@ -330,7 +330,8 @@ class TestDiscoveryAndGuards:
             CFG, build_strategy("fedavg", CFG.optimizer_spec()), seed=3,
             executor="parallel:2",
         )
-        sim.executor._start()  # fork before any round
+        # fork before any round
+        sim.executor._start(sim.global_state, sim.global_buffers)
         with pytest.raises(PersistError, match="fork"):
             sim.resume(path)
         sim.close()

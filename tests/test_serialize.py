@@ -144,3 +144,78 @@ class TestLoadValidation:
     def test_error_is_a_value_error(self):
         # Legacy callers catch ValueError; the typed subclass keeps working.
         assert issubclass(CheckpointFormatError, ValueError)
+
+
+class TestArenaCodec:
+    """The fixed-offset codec behind the shared-memory transport."""
+
+    @staticmethod
+    def sample_state():
+        return {
+            "conv.weight": np.arange(24, dtype=np.float32).reshape(2, 3, 2, 2),
+            "conv.bias": np.zeros(2, dtype=np.float32),
+            "scalar": np.float32(3.5).reshape(()),
+            "empty": np.empty((0, 4), dtype=np.float64),
+            "ints": np.arange(5, dtype=np.int64),
+        }
+
+    def test_roundtrip_copy(self):
+        from repro.nn.serialize import pack_state, packed_state_nbytes, unpack_state
+
+        state = self.sample_state()
+        buf = bytearray(packed_state_nbytes(state))
+        end = pack_state(buf, state)
+        assert end <= len(buf)
+        back = unpack_state(buf)
+        assert list(back) == list(state)  # insertion order preserved
+        for name in state:
+            np.testing.assert_array_equal(back[name], state[name])
+            assert back[name].dtype == state[name].dtype
+
+    def test_zero_copy_views_are_read_only(self):
+        from repro.nn.serialize import pack_state, packed_state_nbytes, unpack_state
+
+        state = self.sample_state()
+        buf = bytearray(packed_state_nbytes(state))
+        pack_state(buf, state)
+        views = unpack_state(buf, copy=False)
+        for name, arr in views.items():
+            if arr.size:
+                np.testing.assert_array_equal(arr, state[name])
+                with pytest.raises(ValueError):
+                    arr[...] = 0
+        # The views alias the buffer: rewriting it changes what they see.
+        state2 = {k: v + 1 if v.dtype.kind == "f" else v for k, v in state.items()}
+        pack_state(buf, state2)
+        np.testing.assert_array_equal(views["conv.weight"], state2["conv.weight"])
+        del views  # release buffer exports before the bytearray dies
+
+    def test_pack_at_offset(self):
+        from repro.nn.serialize import pack_state, packed_state_nbytes, unpack_state
+
+        state = self.sample_state()
+        offset = 128
+        buf = bytearray(offset + packed_state_nbytes(state))
+        pack_state(buf, state, offset)
+        back = unpack_state(buf, offset)
+        np.testing.assert_array_equal(back["ints"], state["ints"])
+
+    def test_truncated_and_corrupt_buffers_rejected(self):
+        from repro.nn.serialize import pack_state, packed_state_nbytes, unpack_state
+
+        state = self.sample_state()
+        buf = bytearray(packed_state_nbytes(state))
+        end = pack_state(buf, state)
+        with pytest.raises(CheckpointFormatError):
+            unpack_state(buf[: end // 2])
+        bad = bytearray(buf)
+        bad[:4] = b"XXXX"
+        with pytest.raises(CheckpointFormatError, match="magic"):
+            unpack_state(bad)
+
+    def test_empty_state(self):
+        from repro.nn.serialize import pack_state, packed_state_nbytes, unpack_state
+
+        buf = bytearray(packed_state_nbytes({}))
+        pack_state(buf, {})
+        assert unpack_state(buf) == {}
