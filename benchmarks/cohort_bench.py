@@ -1,0 +1,183 @@
+"""Wall-clock benchmark: serial vs cohort (batched tensor program) rounds.
+
+Measures the time to run ``--rounds`` communication rounds of the micro CNN
+and LSTM workloads under the :class:`SerialExecutor` and the
+:class:`CohortExecutor` at several cohort sizes, on one process and one
+core.  Unlike the parallel bench, the speedup here comes from arithmetic
+intensity — M clients' forward/backward/optimizer steps fused into single
+stacked GEMMs — not from extra cores.
+
+A/B equivalence is asserted on every row: the simulated timeline, byte
+counts and collected-client sets must be *exactly* equal to serial (all
+scalar bookkeeping runs per-member), and evaluation accuracy must agree
+within a small tolerance (tensor compute is reordered, see DESIGN.md §12).
+
+Acceptance gate: the micro CNN at 32 clients under ``cohort:32`` must run
+at least ``--min-speedup`` (default 2.0) times faster than serial; the
+bench exits non-zero otherwise.  CI runs this in the bench-smoke job and
+uploads ``BENCH_cohort.json``.
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/cohort_bench.py \
+        --clients 32 --rounds 3 --cohort-sizes 8 32 --out BENCH_cohort.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms import build_strategy  # noqa: E402
+from repro.experiments.configs import get_workload, make_environment  # noqa: E402
+
+
+def bench_config(workload: str, num_clients: int):
+    """Micro workload resized to ``num_clients`` (shards stay non-tiny)."""
+    cfg = get_workload(workload, "micro")
+    return replace(
+        cfg,
+        num_clients=num_clients,
+        num_samples=max(cfg.num_samples, num_clients * 100),
+        local_iterations=10,
+    )
+
+
+def run_once(cfg, executor, rounds: int, seed: int, *, scheme="fedavg"):
+    strategy = build_strategy(scheme, cfg.optimizer_spec())
+    sim = make_environment(cfg, strategy, seed=seed, executor=executor)
+    try:
+        start = time.perf_counter()
+        history = sim.run(rounds)
+        elapsed = time.perf_counter() - start
+        occupancy = (
+            sim.executor.occupancy()
+            if hasattr(sim.executor, "occupancy")
+            else None
+        )
+    finally:
+        sim.close()
+    return elapsed, history, occupancy
+
+
+def timeline(history):
+    """The parts of the history that must be *exactly* serial-equal."""
+    return [
+        (r.round_index, r.end_time, r.collected_clients, r.total_bytes)
+        for r in history.records
+    ]
+
+
+def fingerprint(history):
+    return [
+        (r.round_index, r.end_time, r.accuracy, r.collected_clients, r.total_bytes)
+        for r in history.records
+    ]
+
+
+def max_accuracy_diff(a, b):
+    return max(
+        (abs(ra.accuracy - rb.accuracy) for ra, rb in zip(a.records, b.records)),
+        default=0.0,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", nargs="+", default=["cnn", "lstm"],
+                        choices=["cnn", "lstm"])
+    parser.add_argument("--clients", type=int, nargs="+", default=[32])
+    parser.add_argument("--cohort-sizes", type=int, nargs="+", default=[8, 32])
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--scheme", default="fedavg")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="acceptance floor for cohort:32 on the micro "
+                             "CNN at 32 clients (default 2.0)")
+    parser.add_argument("--accuracy-atol", type=float, default=0.02,
+                        help="max tolerated per-round accuracy deviation")
+    parser.add_argument("--out",
+                        default=str(Path(__file__).parent.parent / "BENCH_cohort.json"))
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "serial vs cohort batched rounds "
+                     f"({args.scheme}, micro cnn/lstm, single core)",
+        "rounds": args.rounds,
+        "cpu_count": os.cpu_count(),
+        "min_speedup_gate": args.min_speedup,
+        "results": [],
+    }
+    failures = []
+
+    for workload in args.workloads:
+        for n in args.clients:
+            cfg = bench_config(workload, n)
+            serial_s, hist_serial, _ = run_once(
+                cfg, "serial", args.rounds, args.seed, scheme=args.scheme
+            )
+            for m in args.cohort_sizes:
+                cohort_s, hist_cohort, occ = run_once(
+                    cfg, f"cohort:{m}", args.rounds, args.seed,
+                    scheme=args.scheme,
+                )
+                speedup = serial_s / cohort_s if cohort_s > 0 else float("inf")
+                exact = fingerprint(hist_serial) == fingerprint(hist_cohort)
+                timeline_ok = timeline(hist_serial) == timeline(hist_cohort)
+                acc_diff = max_accuracy_diff(hist_serial, hist_cohort)
+                equivalent = timeline_ok and acc_diff <= args.accuracy_atol
+                report["results"].append(
+                    {
+                        "workload": workload,
+                        "clients": n,
+                        "cohort_size": m,
+                        "serial_s": round(serial_s, 4),
+                        "cohort_s": round(cohort_s, 4),
+                        "speedup": round(speedup, 3),
+                        "occupancy": round(occ["occupancy"], 4) if occ else None,
+                        "timeline_identical": timeline_ok,
+                        "histories_identical": exact,
+                        "max_accuracy_diff": round(acc_diff, 6),
+                    }
+                )
+                print(
+                    f"{workload:4s} clients={n:3d}  serial={serial_s:7.3f}s  "
+                    f"cohort:{m:<3d}={cohort_s:7.3f}s  speedup={speedup:5.2f}x  "
+                    f"occupancy={occ['occupancy'] if occ else 0:.3f}  "
+                    f"equivalent={equivalent}"
+                )
+                if not equivalent:
+                    failures.append(
+                        f"{workload}@{n} cohort:{m}: diverged from serial "
+                        f"(timeline_identical={timeline_ok}, "
+                        f"max_accuracy_diff={acc_diff:.4f})"
+                    )
+                if (
+                    workload == "cnn"
+                    and n == 32
+                    and m == 32
+                    and speedup < args.min_speedup
+                ):
+                    failures.append(
+                        f"cnn@32 cohort:32 speedup {speedup:.2f}x below the "
+                        f"{args.min_speedup:.1f}x acceptance floor"
+                    )
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,6 +86,26 @@ class Strategy(ABC):
     ) -> ClientRoundResult:
         """Execute one client's round."""
 
+    def cohort_round(
+        self,
+        engine,
+        jobs: list[tuple[int, RoundContext]],
+        global_state: dict[str, np.ndarray],
+    ) -> list[ClientRoundResult] | None:
+        """Batched variant of :meth:`client_round` for the cohort executor.
+
+        ``engine`` is a :class:`~repro.runtime.cohort.CohortEngine` whose
+        member slot ``i`` is bound to ``jobs[i]``'s client. Implementations
+        must return results in job order and reproduce every *scalar*
+        outcome of the serial path exactly (simulated times, uplink
+        schedules, decisions, trace events) — only tensor arithmetic may
+        differ, at float tolerance. Returning ``None`` (the default, and
+        the right answer whenever a subclass overrides hooks the batched
+        path cannot honour) makes the executor fall back to serial
+        per-client rounds for the chunk.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Checkpoint/resume hooks (see repro.persist). Strategies that keep
     # per-client state across rounds — FedCA's anchor-profiled curves, the

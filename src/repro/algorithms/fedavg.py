@@ -61,6 +61,74 @@ class FedAvg(Strategy):
             buffers=client.model.buffer_dict(),
         )
 
+    # ------------------------------------------------------------------
+    def cohort_round(
+        self,
+        engine,
+        jobs: list[tuple[int, RoundContext]],
+        global_state: dict[str, np.ndarray],
+    ) -> list[ClientRoundResult] | None:
+        """Batched FedAvg: one stacked SGD program advances every member.
+
+        Only safe when the subclass didn't override the serial hooks —
+        FedProx's proximal optimiser and the compressed baselines' encoders
+        have no batched twin, so those subclasses fall back to serial.
+        (FedAda stays eligible: it customises ``prepare_round`` only, and
+        its per-client budgets arrive here as ``effective_iterations``,
+        realised as prefix-length activity masks.)
+        """
+        cls = type(self)
+        if (
+            cls.client_round is not FedAvg.client_round
+            or cls._build_optimizer is not FedAvg._build_optimizer
+            or cls._encode_update is not FedAvg._encode_update
+        ):
+            return None
+        clients = engine.clients
+        compute_start = [
+            ctx.round_start + c.link.download_seconds(c.model_bytes)
+            for c, (_, ctx) in zip(clients, jobs)
+        ]
+        iterations = [ctx.effective_iterations for _, ctx in jobs]
+        if min(iterations) < 1:
+            raise ValueError("iterations must be >= 1")
+        engine.load_global(global_state)
+        opt = engine.build_optimizer(self.optimizer)
+        t = list(compute_start)
+        totals = [0.0] * engine.size
+        budgets = np.asarray(iterations)
+        for step in range(1, int(budgets.max()) + 1):
+            active = step <= budgets
+            losses = engine.train_step(opt, active)
+            for i in np.flatnonzero(active):
+                totals[i] += float(losses[i])
+                t[i] = clients[i].trace.iteration_finish_time(t[i], 1)
+        stacked = engine.stacked_update(global_state)
+        engine.write_back()
+        results = []
+        for i, (cid, ctx) in enumerate(jobs):
+            client = clients[i]
+            client.uplink.reset(compute_start[i])
+            upload_finish = client.uplink.submit(
+                t[i], client.model_bytes, label="full"
+            ).finish_time
+            results.append(
+                ClientRoundResult(
+                    client_id=cid,
+                    update=engine.member_update(stacked, i),
+                    num_samples=client.num_samples,
+                    iterations_run=iterations[i],
+                    compute_start_time=compute_start[i],
+                    compute_finish_time=t[i],
+                    upload_finish_time=upload_finish,
+                    bytes_uploaded=client.model_bytes,
+                    mean_loss=totals[i] / iterations[i],
+                    events={"iterations_run": iterations[i]},
+                    buffers=client.model.buffer_dict(),
+                )
+            )
+        return results
+
     # Hook for FedProx to swap in the proximal optimiser.
     def _build_optimizer(self, client: SimClient, global_state):
         return self.optimizer.build(client.model)

@@ -143,6 +143,316 @@ class FedCA(Strategy):
         )
 
     # ------------------------------------------------------------------
+    def cohort_round(
+        self,
+        engine,
+        jobs: list[tuple[int, RoundContext]],
+        global_state: dict[str, np.ndarray],
+    ) -> list[ClientRoundResult] | None:
+        """Batched FedCA: tensor work is stacked, *decisions* stay serial.
+
+        Every per-client scalar flow — iteration timing, anchor sampling,
+        eager-transmit scheduling, the Eq. 4 early-stop evaluation,
+        retransmission checks, uplink submissions and trace events — runs
+        per member in plain Python in exactly the serial order, against
+        zero-copy views of the stacked parameters. A member whose early-stop
+        decision fires leaves the cohort via the activity mask (its
+        parameters freeze and its data stream stops drawing); the batched
+        program keeps advancing the survivors. Anchor and optimised members
+        may share one cohort.
+
+        Subclasses that override the per-iteration hook (the intra-round
+        batch-adaptation extension) or the whole round fall back to serial.
+        """
+        cls = type(self)
+        if (
+            cls.client_round is not FedCA.client_round
+            or cls._run_iteration is not FedCA._run_iteration
+            or cls._anchor_round is not FedCA._anchor_round
+            or cls._optimized_round is not FedCA._optimized_round
+        ):
+            return None
+        cfg = self.config
+        clients = engine.clients
+        size = engine.size
+        ctxs = [ctx for _, ctx in jobs]
+        anchor = [
+            is_anchor_round(ctx.round_index, cfg.profile_every)
+            or cid not in self._curves
+            for cid, ctx in jobs
+        ]
+        compute_start = [
+            ctx.round_start + c.link.download_seconds(c.model_bytes)
+            for c, ctx in zip(clients, ctxs)
+        ]
+        engine.load_global(global_state)
+        opt = engine.build_optimizer(self.optimizer)
+        traces: list[list[dict] | None] = [
+            [] if ctx.trace_enabled else None for ctx in ctxs
+        ]
+        member_params = [engine.member_params(i) for i in range(size)]
+        t = list(compute_start)
+
+        recorders: dict[int, AnchorRecorder] = {}
+        stoppers: dict[int, EarlyStopPolicy] = {}
+        schedules: dict[int, EagerSchedule | None] = {}
+        transmitted: list[dict[str, np.ndarray]] = [{} for _ in range(size)]
+        eager_iter: list[dict[str, int]] = [{} for _ in range(size)]
+
+        def make_eager_sink(i: int):
+            trace = traces[i]
+            if trace is None:
+                return None
+            client = clients[i]
+
+            def sink(layer: str, trigger: int, fired: int) -> None:
+                trace.append(
+                    {
+                        "kind": "fedca.eager",
+                        "sim_time": t[i],
+                        "fields": {
+                            "layer": layer,
+                            "tau": fired,
+                            "trigger": trigger,
+                            "bytes": client.layer_bytes[layer],
+                        },
+                    }
+                )
+
+            return sink
+
+        for i, (cid, ctx) in enumerate(jobs):
+            if anchor[i]:
+                recorders[i] = AnchorRecorder(self._sampler_for(clients[i]))
+            else:
+                curves = self._curves[cid]
+                stoppers[i] = EarlyStopPolicy(curves, cfg)
+                schedules[i] = (
+                    EagerSchedule(
+                        curves, cfg.eager_threshold, sink=make_eager_sink(i)
+                    )
+                    if cfg.enable_eager_transmit
+                    else None
+                )
+                clients[i].uplink.reset(compute_start[i])
+
+        totals = [0.0] * size
+        iterations_run = [0] * size
+        stopped_early = [False] * size
+        stop_reason = ["completed"] * size
+        active = np.ones(size, dtype=bool)
+        budgets = np.asarray([ctx.iterations for ctx in ctxs])
+        for tau in range(1, int(budgets.max()) + 1):
+            mask = active & (tau <= budgets)
+            if not mask.any():
+                break
+            losses = engine.train_step(opt, mask)
+            for i in np.flatnonzero(mask):
+                client = clients[i]
+                totals[i] += float(losses[i])
+                t[i] = client.trace.iteration_finish_time(t[i], 1)
+                iterations_run[i] = tau
+                if anchor[i]:
+                    recorders[i].record(member_params[i], global_state)
+                    continue
+                schedule = schedules[i]
+                if schedule is not None:
+                    for layer in schedule.due(tau):
+                        transmitted[i][layer] = (
+                            member_params[i][layer] - global_state[layer]
+                        ).copy()
+                        client.uplink.submit(
+                            t[i], client.layer_bytes[layer], label=f"eager:{layer}"
+                        )
+                        eager_iter[i][layer] = tau
+                if tau < ctxs[i].iterations:
+                    decision = stoppers[i].decide(
+                        tau, t[i] - compute_start[i], ctxs[i].deadline
+                    )
+                    if traces[i] is not None:
+                        traces[i].append(
+                            {
+                                "kind": "fedca.earlystop.eval",
+                                "sim_time": t[i],
+                                "fields": {
+                                    "tau": decision.tau,
+                                    "b": decision.benefit,
+                                    "c": decision.cost,
+                                    "n": decision.net,
+                                    "elapsed": t[i] - compute_start[i],
+                                    "stop": decision.stop,
+                                    "reason": decision.reason,
+                                },
+                            }
+                        )
+                    if decision.stop:
+                        stopped_early[i] = True
+                        stop_reason[i] = decision.reason
+                        active[i] = False
+
+        stacked = engine.stacked_update(global_state)
+        engine.write_back()
+        results: list[ClientRoundResult] = []
+        for i, (cid, ctx) in enumerate(jobs):
+            client = clients[i]
+            if anchor[i]:
+                results.append(
+                    self._finish_cohort_anchor(
+                        client, engine.member_update(stacked, i), ctx,
+                        recorders[i], compute_start[i], t[i],
+                        totals[i], traces[i],
+                    )
+                )
+            else:
+                results.append(
+                    self._finish_cohort_optimized(
+                        client, engine.member_update(stacked, i), ctx,
+                        compute_start[i], t[i], totals[i],
+                        iterations_run[i], stopped_early[i], stop_reason[i],
+                        transmitted[i], eager_iter[i], traces[i],
+                    )
+                )
+        return results
+
+    def _finish_cohort_anchor(
+        self,
+        client: SimClient,
+        update: dict[str, np.ndarray],
+        ctx: RoundContext,
+        recorder: AnchorRecorder,
+        compute_start: float,
+        compute_finish: float,
+        total_loss: float,
+        trace: list[dict] | None,
+    ) -> ClientRoundResult:
+        """Anchor-member tail, mirroring :meth:`_anchor_round` post-loop."""
+        profiling_bytes = recorder.memory_bytes()
+        if trace is not None:
+            trace.append(
+                {
+                    "kind": "fedca.anchor",
+                    "sim_time": compute_finish,
+                    "fields": recorder.stats(),
+                }
+            )
+        self._curves[client.client_id] = recorder.finalize(ctx.round_index)
+        upload_finish, nbytes = self._finish_upload(
+            client, compute_start, compute_finish
+        )
+        return ClientRoundResult(
+            client_id=client.client_id,
+            update=update,
+            num_samples=client.num_samples,
+            iterations_run=ctx.iterations,
+            compute_start_time=compute_start,
+            compute_finish_time=compute_finish,
+            upload_finish_time=upload_finish,
+            bytes_uploaded=nbytes,
+            mean_loss=total_loss / ctx.iterations,
+            events={
+                "anchor": True,
+                "iterations_run": ctx.iterations,
+                "early_stop_iteration": None,
+                "eager": {},
+                "retransmitted": [],
+                "profiling_bytes": profiling_bytes,
+            },
+            buffers=client.model.buffer_dict(),
+            trace=trace or [],
+        )
+
+    def _finish_cohort_optimized(
+        self,
+        client: SimClient,
+        final_updates: dict[str, np.ndarray],
+        ctx: RoundContext,
+        compute_start: float,
+        compute_finish: float,
+        total_loss: float,
+        iterations_run: int,
+        stopped_early: bool,
+        stop_reason: str,
+        transmitted: dict[str, np.ndarray],
+        eager_iter: dict[str, int],
+        trace: list[dict] | None,
+    ) -> ClientRoundResult:
+        """Optimised-member tail, mirroring :meth:`_optimized_round` after
+        its iteration loop (retransmit check, tail upload, received dict)."""
+        cfg = self.config
+        if trace is not None:
+            trace.append(
+                {
+                    "kind": "fedca.earlystop.stop",
+                    "sim_time": compute_finish,
+                    "fields": {
+                        "tau": iterations_run,
+                        "reason": stop_reason,
+                        "early": stopped_early,
+                    },
+                }
+            )
+        retrans: list[str] = []
+        if cfg.enable_retransmit and transmitted:
+            retrans_sink = None
+            if trace is not None:
+                def retrans_sink(layer: str, cos: float, deviated: bool) -> None:
+                    trace.append(
+                        {
+                            "kind": "fedca.retransmit",
+                            "sim_time": compute_finish,
+                            "fields": {
+                                "layer": layer,
+                                "cosine": float(cos),
+                                "deviated": bool(deviated),
+                                "bytes": client.layer_bytes[layer],
+                            },
+                        }
+                    )
+            retrans = deviated_layers(
+                final_updates,
+                transmitted,
+                cfg.retransmit_threshold,
+                sink=retrans_sink,
+            )
+        tail_layers = [
+            name for name in client.layer_bytes if name not in transmitted
+        ] + retrans
+        tail_bytes = sum(client.layer_bytes[name] for name in tail_layers)
+        if tail_bytes > 0:
+            upload_finish = client.uplink.submit(
+                compute_finish, tail_bytes, label="tail"
+            ).finish_time
+        else:
+            upload_finish = max(compute_finish, client.uplink.busy_until)
+
+        received = dict(final_updates)
+        retrans_set = set(retrans)
+        for name, value in transmitted.items():
+            if name not in retrans_set:
+                received[name] = value
+
+        return ClientRoundResult(
+            client_id=client.client_id,
+            update=received,
+            num_samples=client.num_samples,
+            iterations_run=iterations_run,
+            compute_start_time=compute_start,
+            compute_finish_time=compute_finish,
+            upload_finish_time=upload_finish,
+            bytes_uploaded=client.uplink.total_bytes,
+            mean_loss=total_loss / max(1, iterations_run),
+            events={
+                "anchor": False,
+                "iterations_run": iterations_run,
+                "early_stop_iteration": iterations_run if stopped_early else None,
+                "eager": eager_iter,
+                "retransmitted": retrans,
+            },
+            buffers=client.model.buffer_dict(),
+            trace=trace or [],
+        )
+
+    # ------------------------------------------------------------------
     def _anchor_round(
         self,
         client: SimClient,

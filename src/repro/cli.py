@@ -144,9 +144,11 @@ def _positive_int(value: str) -> int:
 
 def _add_executor(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--executor", default="serial", choices=["serial", "parallel"],
+        "--executor", default="serial", choices=["serial", "parallel", "cohort"],
         help="client-execution engine; 'parallel' uses persistent worker "
-             "processes (same results, lower wall-clock)")
+             "processes (same results, lower wall-clock); 'cohort' batches "
+             "M clients into one stacked tensor program (float-tolerance "
+             "equivalent, multiplicative single-core speedups)")
     parser.add_argument(
         "--workers", type=_positive_int, default=None, metavar="N",
         help="worker count for --executor parallel (default: usable cores)")
@@ -156,17 +158,26 @@ def _add_executor(parser: argparse.ArgumentParser) -> None:
              "model once through a shared-memory arena, 'pipe' serialises "
              "it per worker; 'auto' (default) picks shm where available "
              "and falls back to pipe with a logged reason")
+    parser.add_argument(
+        "--cohort-size", type=_positive_int, default=None, metavar="M",
+        help="clients per batched tensor program for --executor cohort "
+             "(default: 32)")
 
 
 def _executor_spec(args: argparse.Namespace) -> str:
-    if args.executor != "parallel":
-        return args.executor
-    spec = "parallel"
-    if args.workers is not None:
-        spec += f":{args.workers}"
-    if args.transport != "auto":
-        spec += f"@{args.transport}"
-    return spec
+    if args.executor == "parallel":
+        spec = "parallel"
+        if args.workers is not None:
+            spec += f":{args.workers}"
+        if args.transport != "auto":
+            spec += f"@{args.transport}"
+        return spec
+    if args.executor == "cohort":
+        spec = "cohort"
+        if args.cohort_size is not None:
+            spec += f":{args.cohort_size}"
+        return spec
+    return args.executor
 
 
 def _add_persistence(parser: argparse.ArgumentParser) -> None:

@@ -4,7 +4,21 @@ Replaces the paper's PyTorch dependency: layers, losses, optimisers and the
 three workload models (CNN / LSTM / WideResNet), all in vectorised NumPy.
 """
 
+from .cohort import (
+    CohortModel,
+    CohortSGD,
+    CohortUnsupportedModel,
+    build_cohort_model,
+    cohort_softmax_cross_entropy,
+    cohort_supported,
+)
 from .conv import Conv2d
+from .einsum_cache import (
+    clear_path_cache,
+    einsum_path_for,
+    path_cache_info,
+    planned_einsum,
+)
 from .layers import Dropout, Flatten, Identity, Linear, ReLU, Sequential, Tanh
 from .loss import accuracy, softmax_cross_entropy
 from .models import LeNetCNN, LSTMClassifier, ResidualBlock, WideResNet, build_model
@@ -31,4 +45,7 @@ __all__ = [
     "LeNetCNN", "LSTMClassifier", "WideResNet", "ResidualBlock", "build_model",
     "save_model", "load_model", "state_to_bytes", "state_from_bytes",
     "CheckpointFormatError",
+    "CohortModel", "CohortSGD", "CohortUnsupportedModel",
+    "build_cohort_model", "cohort_supported", "cohort_softmax_cross_entropy",
+    "einsum_path_for", "planned_einsum", "path_cache_info", "clear_path_cache",
 ]

@@ -6,6 +6,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from .einsum_cache import einsum_path_for
 from .module import Module
 from .parameter import Parameter
 
@@ -49,8 +50,6 @@ class Conv2d(Module):
         self._geom: tuple[int, int] | None = None
         self._cols: np.ndarray | None = None
         self._x_shape: tuple[int, int, int, int] | None = None
-        self._paths: tuple | None = None
-        self._path_geom: tuple[int, int] | None = None
 
     def _ensure_indices(self, h: int, w: int) -> None:
         if self._geom != (h, w):
@@ -60,21 +59,18 @@ class Conv2d(Module):
             )
             self._geom = (h, w)
 
-    def _ensure_paths(self, n: int, l: int) -> tuple:
-        """Contraction paths for the three einsums, planned once per
-        ``(batch, spatial)`` geometry instead of re-searched every call
-        (``optimize=True`` re-runs the path optimizer on each invocation)."""
-        if self._path_geom != (n, l):
-            k = self.in_channels * self.kernel_size * self.kernel_size
-            w_mat = np.empty((self.out_channels, k))
-            cols = np.empty((n, k, l))
-            grad = np.empty((n, self.out_channels, l))
-            fwd = np.einsum_path("fk,nkl->nfl", w_mat, cols, optimize="optimal")[0]
-            dw = np.einsum_path("nfl,nkl->fk", grad, cols, optimize="optimal")[0]
-            dcols = np.einsum_path("fk,nfl->nkl", w_mat, grad, optimize="optimal")[0]
-            self._paths = (fwd, dw, dcols)
-            self._path_geom = (n, l)
-        return self._paths
+    def _paths(self, n: int, l: int) -> tuple:
+        """Contraction paths for the three einsums, resolved through the
+        process-wide LRU plan cache (:mod:`repro.nn.einsum_cache`) — planned
+        once per ``(batch, spatial)`` geometry across *all* conv instances,
+        and bounded so long-lived layers cycling through many geometries
+        cannot grow an unbounded plan table."""
+        k = self.in_channels * self.kernel_size * self.kernel_size
+        f = self.out_channels
+        fwd = einsum_path_for("fk,nkl->nfl", (f, k), (n, k, l))
+        dw = einsum_path_for("nfl,nkl->fk", (n, f, l), (n, k, l))
+        dcols = einsum_path_for("fk,nfl->nkl", (f, k), (n, f, l))
+        return fwd, dw, dcols
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
@@ -85,7 +81,7 @@ class Conv2d(Module):
         cols = F.im2col(x, self._indices, self.padding)  # (N, C*k*k, L)
         self._cols = cols
         self._x_shape = x.shape
-        fwd_path, _, _ = self._ensure_paths(n, cols.shape[2])
+        fwd_path, _, _ = self._paths(n, cols.shape[2])
         w_mat = self.weight.data.reshape(self.out_channels, -1)  # (F, C*k*k)
         out = np.einsum("fk,nkl->nfl", w_mat, cols, optimize=fwd_path)
         if self.bias is not None:
@@ -97,7 +93,7 @@ class Conv2d(Module):
             raise RuntimeError("Conv2d.backward called before forward")
         n = grad_out.shape[0]
         grad_flat = grad_out.reshape(n, self.out_channels, -1)  # (N, F, L)
-        _, dw_path, dcols_path = self._ensure_paths(n, grad_flat.shape[2])
+        _, dw_path, dcols_path = self._paths(n, grad_flat.shape[2])
         # dW: sum over batch and spatial positions.
         dw = np.einsum("nfl,nkl->fk", grad_flat, self._cols, optimize=dw_path)
         self.weight.grad += dw.reshape(self.weight.data.shape)

@@ -7,6 +7,7 @@ from .aggregation import (
     collect_earliest,
 )
 from .client import SimClient
+from .cohort import CohortEngine, CohortExecutor
 from .executor import Executor, SerialExecutor, resolve_executor
 from .export import (
     history_from_dict,
@@ -33,6 +34,8 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "CohortExecutor",
+    "CohortEngine",
     "resolve_executor",
     "Transport",
     "PipeTransport",

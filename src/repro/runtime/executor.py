@@ -145,8 +145,10 @@ def resolve_executor(spec: "Executor | str | None") -> Executor:
     ``"parallel[:N][@transport]"`` →
     :class:`~repro.runtime.parallel.ParallelExecutor` with N workers and
     the given IPC transport (``auto``/``shm``/``pipe``, see
-    :mod:`repro.runtime.transport`) — e.g. ``"parallel:4@shm"``; an
-    :class:`Executor` instance passes through.
+    :mod:`repro.runtime.transport`) — e.g. ``"parallel:4@shm"``;
+    ``"cohort[:M]"`` → :class:`~repro.runtime.cohort.CohortExecutor`
+    batching M clients per stacked tensor program — e.g. ``"cohort:32"``;
+    an :class:`Executor` instance passes through.
     """
     if spec is None:
         return SerialExecutor()
@@ -175,7 +177,17 @@ def resolve_executor(spec: "Executor | str | None") -> Executor:
                 except ValueError:
                     raise ValueError(f"bad worker count in executor spec {spec!r}")
             return ParallelExecutor(workers=workers, transport=transport)
+        if key == "cohort" or key.startswith("cohort:"):
+            from .cohort import CohortExecutor
+
+            size = None
+            if ":" in key:
+                try:
+                    size = int(key.split(":", 1)[1])
+                except ValueError:
+                    raise ValueError(f"bad cohort size in executor spec {spec!r}")
+            return CohortExecutor(cohort_size=size)
     raise ValueError(
         f"unknown executor spec {spec!r}; expected 'serial', "
-        "'parallel[:N][@transport]' or an Executor instance"
+        "'parallel[:N][@transport]', 'cohort[:M]' or an Executor instance"
     )

@@ -68,10 +68,14 @@ class FederatedSimulator:
         Enable fast/slow toggling on every client.
     executor:
         Client-execution engine: ``None``/``"serial"`` (default),
-        ``"parallel"``/``"parallel:N"``, or an
-        :class:`~repro.runtime.executor.Executor` instance. Engines only
-        change wall-clock time; the produced history is identical (see
-        :mod:`repro.runtime.parallel`).
+        ``"parallel"``/``"parallel:N"``, ``"cohort"``/``"cohort:M"``, or
+        an :class:`~repro.runtime.executor.Executor` instance. Engines
+        only change wall-clock time: parallel histories are bitwise
+        identical to serial (see :mod:`repro.runtime.parallel`); the
+        cohort engine batches M clients into one stacked tensor program
+        and keeps timelines/decisions exact while relaxing tensor values
+        to a documented float tolerance (see :mod:`repro.runtime.cohort`
+        and DESIGN.md §12).
     recorder:
         Telemetry sink (see :mod:`repro.obs`). ``None`` (default) means
         the shared :data:`~repro.obs.NULL_RECORDER`: every hook is a

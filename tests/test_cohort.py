@@ -1,0 +1,556 @@
+"""Tests for the cohort executor: batched layer/model equivalence against the
+serial oracle, ragged-cohort masking, FedCA early-stop parity via the JSONL
+trace, executor-spec parsing, fallbacks, and the shared einsum-plan cache.
+
+The serial executor is the bitwise oracle; the cohort path is allowed to
+deviate in *tensor* compute only, within the pinned tolerance below.  All
+simulated-time bookkeeping must stay exactly equal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import FedAvg, OptimizerSpec, build_strategy
+from repro.data import Dataset
+from repro.experiments.configs import get_workload
+from repro.experiments.runner import run_scheme
+from repro.nn import (
+    SGD,
+    BatchNorm2d,
+    CohortSGD,
+    CohortUnsupportedModel,
+    Conv2d,
+    Dropout,
+    Flatten,
+    LeNetCNN,
+    Linear,
+    LSTMClassifier,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    build_cohort_model,
+    clear_path_cache,
+    cohort_softmax_cross_entropy,
+    cohort_supported,
+    path_cache_info,
+    planned_einsum,
+    softmax_cross_entropy,
+)
+from repro.nn.cohort import CConv2d, CLinear
+from repro.obs import TraceRecorder
+from repro.runtime import CohortExecutor, RoundContext, SerialExecutor, resolve_executor
+from repro.runtime.client import SimClient
+from repro.sysmodel import LinkModel, SpeedTrace
+
+# Pinned cohort-vs-serial tensor tolerance (documented in DESIGN.md §12).
+RTOL = 1e-4
+ATOL = 1e-5
+
+
+# ----------------------------------------------------------------------
+# Fixtures (same idiom as tests/test_algorithms.py)
+# ----------------------------------------------------------------------
+def tiny_shard(n=24, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3, 12, 12)).astype(np.float32)
+    y = (np.arange(n) % 4).astype(np.int64)
+    return Dataset(x, y, 10)
+
+
+def model_fn():
+    return LeNetCNN(rng=np.random.default_rng(3))
+
+
+def make_client(cid=0, *, n=24, model=model_fn, base_time=0.01, mbps=10.0):
+    return SimClient(
+        cid,
+        tiny_shard(n=n, seed=cid),
+        model_fn=model,
+        batch_size=8,
+        trace=SpeedTrace(base_time, seed=cid, dynamic=False),
+        link=LinkModel(uplink_mbps=mbps, downlink_mbps=mbps),
+        seed=cid,
+    )
+
+
+def ctx(round_index=0, iterations=6, deadline=100.0, assigned=None):
+    return RoundContext(
+        round_index=round_index,
+        round_start=0.0,
+        iterations=iterations,
+        deadline=deadline,
+        assigned_iterations=assigned,
+    )
+
+
+OPT = OptimizerSpec(lr=0.05, weight_decay=0.0)
+
+
+def clone_members(template_fn, c):
+    """c independent serial models sharing the template's init weights."""
+    return [template_fn() for _ in range(c)]
+
+
+# ----------------------------------------------------------------------
+# Layer-level equivalence
+# ----------------------------------------------------------------------
+class TestCohortLayers:
+    def test_linear_matches_serial(self):
+        rng = np.random.default_rng(0)
+        c, b, fin, fout = 3, 5, 7, 4
+        serial = [Linear(fin, fout, rng=np.random.default_rng(s)) for s in range(c)]
+        layer = CLinear("", serial[0], c)
+        for i, m in enumerate(serial):
+            layer.weight.data[i] = m.weight.data
+            layer.bias.data[i] = m.bias.data
+        x = rng.normal(size=(c, b, fin)).astype(np.float32)
+        g = rng.normal(size=(c, b, fout)).astype(np.float32)
+        out = layer.forward(x)
+        dx = layer.backward(g)
+        for i, m in enumerate(serial):
+            ref_out = m.forward(x[i])
+            ref_dx = m.backward(g[i])
+            np.testing.assert_allclose(out[i], ref_out, rtol=RTOL, atol=ATOL)
+            np.testing.assert_allclose(dx[i], ref_dx, rtol=RTOL, atol=ATOL)
+            np.testing.assert_allclose(
+                layer.weight.grad[i], m.weight.grad, rtol=RTOL, atol=ATOL
+            )
+            np.testing.assert_allclose(
+                layer.bias.grad[i], m.bias.grad, rtol=RTOL, atol=ATOL
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        in_ch=st.integers(1, 3),
+        out_ch=st.integers(1, 4),
+        k=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        pad_frac=st.integers(0, 2),
+        hw=st.integers(4, 9),
+        batch=st.integers(1, 4),
+        cohort=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+    )
+    def test_conv_property_matches_serial(
+        self, in_ch, out_ch, k, stride, pad_frac, hw, batch, cohort, seed
+    ):
+        """Forward/backward parity over random conv geometries.
+
+        ``stride == 1`` with ``padding <= k - 1`` exercises the
+        transposed-convolution input-gradient path; everything else falls
+        back to the col2im scatter.  Both must match the serial layer.
+        """
+        pad = min(pad_frac, k - 1)
+        rng = np.random.default_rng(seed)
+        serial = [
+            Conv2d(
+                in_ch, out_ch, k, stride=stride, padding=pad,
+                rng=np.random.default_rng(seed + s),
+            )
+            for s in range(cohort)
+        ]
+        layer = CConv2d("", serial[0], cohort)
+        for i, m in enumerate(serial):
+            layer.weight.data[i] = m.weight.data
+            layer.bias.data[i] = m.bias.data
+        x = rng.normal(size=(cohort, batch, in_ch, hw, hw)).astype(np.float32)
+        out = layer.forward(x)
+        g = rng.normal(size=out.shape).astype(np.float32)
+        dx = layer.backward(g)
+        for i, m in enumerate(serial):
+            ref_out = m.forward(x[i])
+            ref_dx = m.backward(g[i])
+            np.testing.assert_allclose(out[i], ref_out, rtol=1e-3, atol=1e-4)
+            np.testing.assert_allclose(dx[i], ref_dx, rtol=1e-3, atol=1e-4)
+            np.testing.assert_allclose(
+                layer.weight.grad[i], m.weight.grad, rtol=1e-3, atol=1e-4
+            )
+            np.testing.assert_allclose(
+                layer.bias.grad[i], m.bias.grad, rtol=1e-3, atol=1e-4
+            )
+
+    def test_maxpool_tie_splitting_matches_serial(self):
+        from repro.nn.cohort import CMaxPool2d
+
+        c, b = 2, 3
+        serial = MaxPool2d(2)
+        layer = CMaxPool2d(serial)
+        rng = np.random.default_rng(1)
+        # Quantised values force frequent ties inside pooling windows.
+        x = rng.integers(0, 3, size=(c, b, 4, 8, 8)).astype(np.float32)
+        g = rng.normal(size=(c, b, 4, 4, 4)).astype(np.float32)
+        out = layer.forward(x)
+        dx = layer.backward(g)
+        for i in range(c):
+            ref_out = serial.forward(x[i])
+            ref_dx = serial.backward(g[i])
+            np.testing.assert_allclose(out[i], ref_out, rtol=0, atol=0)
+            np.testing.assert_allclose(dx[i], ref_dx, rtol=RTOL, atol=ATOL)
+
+    def test_loss_matches_serial_with_ragged_counts(self):
+        rng = np.random.default_rng(2)
+        c, b, k = 3, 8, 5
+        logits = rng.normal(size=(c, b, k)).astype(np.float32)
+        labels = rng.integers(0, k, size=(c, b)).astype(np.int64)
+        counts = np.array([8, 3, 0])
+        loss, grad = cohort_softmax_cross_entropy(logits, labels, counts)
+        for i, n in enumerate(counts):
+            if n == 0:
+                assert loss[i] == 0.0
+                np.testing.assert_array_equal(grad[i], 0.0)
+                continue
+            ref_loss, ref_grad = softmax_cross_entropy(logits[i, :n], labels[i, :n])
+            assert loss[i] == pytest.approx(ref_loss, rel=1e-6)
+            np.testing.assert_allclose(grad[i, :n], ref_grad, rtol=RTOL, atol=ATOL)
+            # Padded rows carry exactly-zero gradient.
+            np.testing.assert_array_equal(grad[i, n:], 0.0)
+
+
+# ----------------------------------------------------------------------
+# Model-level training equivalence
+# ----------------------------------------------------------------------
+def train_serial(model, batches, labels, *, lr, wd, momentum):
+    opt = SGD(model, lr, weight_decay=wd, momentum=momentum)
+    for x, y in zip(batches, labels):
+        logits = model.forward(x)
+        _, grad = softmax_cross_entropy(logits, y)
+        model.zero_grad()
+        model.backward(grad)
+        opt.step()
+
+
+class TestCohortModel:
+    @pytest.mark.parametrize(
+        "template_fn,xshape",
+        [
+            (model_fn, (6, 3, 12, 12)),
+            (lambda: LSTMClassifier(rng=np.random.default_rng(3)), (6, 12, 8)),
+        ],
+        ids=["cnn", "lstm"],
+    )
+    def test_training_matches_serial(self, template_fn, xshape):
+        c, steps = 3, 3
+        lr, wd, momentum = 0.05, 1e-4, 0.9
+        rng = np.random.default_rng(7)
+        members = clone_members(template_fn, c)
+        cohort = build_cohort_model(members[0], c)
+        cohort.load_global(members[0].state_dict())
+        cohort.bind_member_models(members)
+        opt = CohortSGD(cohort, lr, weight_decay=wd, momentum=momentum)
+        xs = rng.normal(size=(steps, c) + xshape).astype(np.float32)
+        ys = rng.integers(0, 10, size=(steps, c, xshape[0])).astype(np.int64)
+
+        active = np.ones(c, dtype=bool)
+        counts = np.full(c, xshape[0])
+        for t in range(steps):
+            cohort.set_step_masks(active, counts)
+            logits = cohort.forward(xs[t])
+            _, grad = cohort_softmax_cross_entropy(logits, ys[t], counts)
+            cohort.zero_grad()
+            cohort.backward(grad)
+            opt.step(active)
+
+        for i, m in enumerate(members):
+            ref = template_fn()
+            ref.load_state_dict(members[0].state_dict())
+            train_serial(
+                ref,
+                [xs[t, i] for t in range(steps)],
+                [ys[t, i] for t in range(steps)],
+                lr=lr, wd=wd, momentum=momentum,
+            )
+            got = cohort.member_params(i)
+            for name, p in ref.named_parameters():
+                np.testing.assert_allclose(
+                    got[name], p.data, rtol=RTOL, atol=ATOL, err_msg=name
+                )
+
+    def test_masked_member_is_bitwise_frozen(self):
+        """An inactive member must not move at all — including the
+        weight-decay component, which is nonzero even at zero gradient."""
+        c = 2
+        members = clone_members(model_fn, c)
+        cohort = build_cohort_model(members[0], c)
+        cohort.load_global(members[0].state_dict())
+        before = {n: p.data[1].copy() for n, p in cohort.params.items()}
+        opt = CohortSGD(cohort, 0.1, weight_decay=0.01, momentum=0.9)
+        for p in cohort.params.values():
+            p.grad[...] = np.random.default_rng(0).normal(size=p.grad.shape)
+        opt.step(np.array([True, False]))
+        moved = frozen = 0
+        for name, p in cohort.params.items():
+            np.testing.assert_array_equal(p.data[1], before[name])
+            frozen += 1
+            if not np.array_equal(p.data[0], before[name]):
+                moved += 1
+        assert frozen > 0 and moved > 0
+
+    def test_dropout_draws_member_rngs(self):
+        """A model with Dropout must consume each member's own serial RNG
+        stream, so cohort training stays equivalent to serial training."""
+        def template_fn():
+            rng = np.random.default_rng(5)
+            return Sequential(
+                Flatten(), Linear(12, 16, rng=rng), ReLU(),
+                Dropout(0.5, rng=np.random.default_rng(9)),
+                Linear(16, 4, rng=rng),
+                names=["flat", "fc1", "relu", "drop", "fc2"],
+            )
+
+        c, steps, b = 2, 4, 6
+        members = clone_members(template_fn, c)
+        refs = clone_members(template_fn, c)
+        cohort = build_cohort_model(members[0], c)
+        cohort.load_global(members[0].state_dict())
+        cohort.bind_member_models(members)
+        opt = CohortSGD(cohort, 0.05)
+        rng = np.random.default_rng(11)
+        xs = rng.normal(size=(steps, c, b, 12)).astype(np.float32)
+        ys = rng.integers(0, 4, size=(steps, c, b)).astype(np.int64)
+        counts = np.full(c, b)
+        for t in range(steps):
+            cohort.set_step_masks(np.ones(c, dtype=bool), counts)
+            logits = cohort.forward(xs[t])
+            _, grad = cohort_softmax_cross_entropy(logits, ys[t], counts)
+            cohort.zero_grad()
+            cohort.backward(grad)
+            opt.step()
+        for i, ref in enumerate(refs):
+            train_serial(
+                ref,
+                [xs[t, i] for t in range(steps)],
+                [ys[t, i] for t in range(steps)],
+                lr=0.05, wd=0.0, momentum=0.0,
+            )
+            got = cohort.member_params(i)
+            for name, p in ref.named_parameters():
+                np.testing.assert_allclose(
+                    got[name], p.data, rtol=RTOL, atol=ATOL, err_msg=name
+                )
+
+    def test_unsupported_model_reported(self):
+        model = Sequential(
+            Conv2d(3, 4, 3, rng=np.random.default_rng(0)),
+            BatchNorm2d(4),
+            names=["conv", "bn"],
+        )
+        ok, reason = cohort_supported(model)
+        assert not ok
+        assert "BatchNorm2d" in reason
+        with pytest.raises(CohortUnsupportedModel):
+            build_cohort_model(model, 2)
+
+
+# ----------------------------------------------------------------------
+# Executor spec parsing and construction
+# ----------------------------------------------------------------------
+class TestResolveExecutor:
+    def test_default_cohort_size(self):
+        ex = resolve_executor("cohort")
+        assert isinstance(ex, CohortExecutor)
+        assert ex.cohort_size == 32
+
+    def test_explicit_cohort_size(self):
+        assert resolve_executor("cohort:4").cohort_size == 4
+
+    @pytest.mark.parametrize("spec", ["cohort:x", "cohort:", "cohort:4:2"])
+    def test_bad_spec_rejected(self, spec):
+        with pytest.raises(ValueError):
+            resolve_executor(spec)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            CohortExecutor(0)
+
+
+# ----------------------------------------------------------------------
+# Executor-level: ragged cohorts, tail chunks, fallbacks
+# ----------------------------------------------------------------------
+def run_executor(executor, clients, strategy, jobs):
+    executor.bind(clients, strategy)
+    global_state = model_fn().state_dict()
+    return executor.run_round(global_state, {}, jobs), global_state
+
+
+class TestCohortExecutor:
+    def test_tail_cohort_remainder(self):
+        """Regression for selected=5 with M=4: the tail chunk must train
+        the remaining client, in order, identically to serial."""
+        strategy = FedAvg(OPT)
+        clients_a = [make_client(i) for i in range(5)]
+        clients_b = [make_client(i) for i in range(5)]
+        jobs = [(i, ctx()) for i in range(5)]
+        serial, _ = run_executor(SerialExecutor(), clients_a, strategy, jobs)
+        cohort, _ = run_executor(CohortExecutor(4), clients_b, FedAvg(OPT), jobs)
+        assert len(cohort) == 5
+        assert [r.client_id for r in cohort] == [r.client_id for r in serial]
+        for rs, rc in zip(serial, cohort):
+            assert rc.iterations_run == rs.iterations_run
+            assert rc.compute_start_time == rs.compute_start_time
+            assert rc.compute_finish_time == rs.compute_finish_time
+            assert rc.upload_finish_time == rs.upload_finish_time
+            assert rc.bytes_uploaded == rs.bytes_uploaded
+            for name in rs.update:
+                np.testing.assert_allclose(
+                    rc.update[name], rs.update[name], rtol=RTOL, atol=ATOL
+                )
+
+    def test_ragged_member_batches(self):
+        """Members whose shard is smaller than the batch size train on
+        short (padded) batches; results must still match serial."""
+        strategy = FedAvg(OPT)
+        sizes = [3, 24]
+        clients_a = [make_client(i, n=sizes[i]) for i in range(2)]
+        clients_b = [make_client(i, n=sizes[i]) for i in range(2)]
+        jobs = [(i, ctx()) for i in range(2)]
+        serial, _ = run_executor(SerialExecutor(), clients_a, strategy, jobs)
+        cohort, _ = run_executor(CohortExecutor(2), clients_b, FedAvg(OPT), jobs)
+        for rs, rc in zip(serial, cohort):
+            assert rc.compute_finish_time == rs.compute_finish_time
+            for name in rs.update:
+                np.testing.assert_allclose(
+                    rc.update[name], rs.update[name], rtol=RTOL, atol=ATOL
+                )
+
+    def test_unbatchable_strategy_falls_back_serially(self):
+        strategy = build_strategy("fedprox", OPT)
+        clients = [make_client(i) for i in range(3)]
+        jobs = [(i, ctx()) for i in range(3)]
+        executor = CohortExecutor(4)
+        executor.bind(clients, strategy)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            results = executor.run_round(model_fn().state_dict(), {}, jobs)
+        assert len(results) == 3
+
+        serial_clients = [make_client(i) for i in range(3)]
+        serial, _ = run_executor(
+            SerialExecutor(), serial_clients, build_strategy("fedprox", OPT), jobs
+        )
+        for rs, rc in zip(serial, results):
+            assert rc.upload_finish_time == rs.upload_finish_time
+            for name in rs.update:
+                np.testing.assert_array_equal(rc.update[name], rs.update[name])
+
+    def test_metrics_mirrored_into_recorder(self):
+        recorder = TraceRecorder()
+        strategy = FedAvg(OPT)
+        clients = [make_client(i) for i in range(3)]
+        executor = CohortExecutor(2)
+        executor.bind(clients, strategy)
+        executor.set_recorder(recorder)
+        executor.run_round(model_fn().state_dict(), {}, [(i, ctx()) for i in range(3)])
+        assert recorder.gauges["repro_cohort_size"] == 2.0
+        assert recorder.counters["repro_cohort_steps_total"] > 0
+        assert (
+            recorder.counters["repro_cohort_member_steps_total"]
+            >= recorder.counters["repro_cohort_steps_total"]
+        )
+        occ = executor.occupancy()
+        assert 0.0 < occ["occupancy"] <= 1.0
+        # Metrics never enter the event ring — trace determinism is immune.
+        assert recorder.num_events == 0
+
+
+# ----------------------------------------------------------------------
+# End-to-end: full simulations, serial vs cohort
+# ----------------------------------------------------------------------
+def micro_cfg(workload, num_clients=6):
+    cfg = get_workload(workload, "micro")
+    return dataclasses.replace(cfg, num_clients=num_clients, local_iterations=6)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("workload", ["cnn", "lstm"])
+    @pytest.mark.parametrize("scheme", ["fedavg", "fedca"])
+    def test_accuracy_and_timeline_match_serial(self, workload, scheme):
+        cfg = micro_cfg(workload)
+        hs = run_scheme(
+            cfg, scheme, rounds=3, stop_at_target=False, seed=0, executor="serial"
+        ).history
+        hc = run_scheme(
+            cfg, scheme, rounds=3, stop_at_target=False, seed=0, executor="cohort:4"
+        ).history
+        # Simulated timelines and byte counts are exactly equal: every
+        # scalar decision runs per-member, identically to serial.
+        assert [r.end_time for r in hc.records] == [r.end_time for r in hs.records]
+        assert [r.total_bytes for r in hc.records] == [r.total_bytes for r in hs.records]
+        assert [r.collected_clients for r in hc.records] == [
+            r.collected_clients for r in hs.records
+        ]
+        np.testing.assert_allclose(
+            hc.accuracy_series(), hs.accuracy_series(), atol=0.02
+        )
+
+    def test_fedca_early_stop_decisions_match_serial_in_trace(self, tmp_path):
+        """Acceptance gate: per-client early-stop decisions (stop round,
+        tau, and reason) under the cohort executor must match serial
+        exactly — asserted via the JSONL trace files."""
+        cfg = micro_cfg("cnn", num_clients=6)
+
+        def decisions(path):
+            stops, evals = [], 0
+            with open(path) as fh:
+                for line in fh:
+                    ev = json.loads(line)
+                    if ev["kind"] == "fedca.earlystop.stop":
+                        stops.append((ev["round"], ev["client"], ev["fields"]))
+                    elif ev["kind"] == "fedca.earlystop.eval":
+                        evals += 1
+            return stops, evals
+
+        paths = {}
+        for name, spec in [("serial", "serial"), ("cohort", "cohort:4")]:
+            path = tmp_path / f"{name}.jsonl"
+            recorder = TraceRecorder(trace_path=str(path))
+            run_scheme(
+                cfg, "fedca", rounds=4, stop_at_target=False, seed=0,
+                executor=spec, recorder=recorder,
+            )
+            recorder.close()
+            paths[name] = path
+
+        serial_stops, serial_evals = decisions(paths["serial"])
+        cohort_stops, cohort_evals = decisions(paths["cohort"])
+        assert serial_stops, "expected at least one early stop in 4 rounds"
+        assert cohort_stops == serial_stops
+        assert cohort_evals == serial_evals
+
+
+# ----------------------------------------------------------------------
+# Shared einsum-plan cache
+# ----------------------------------------------------------------------
+class TestEinsumPathCache:
+    def setup_method(self):
+        clear_path_cache()
+
+    def test_planned_einsum_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(5, 6))
+        b = rng.normal(size=(5, 6))
+        np.testing.assert_allclose(
+            planned_einsum("cb,cb->c", a, b), np.einsum("cb,cb->c", a, b)
+        )
+
+    def test_cache_hits_on_repeat_shapes(self):
+        a = np.ones((4, 3))
+        planned_einsum("ij,ij->i", a, a)
+        before = path_cache_info()
+        planned_einsum("ij,ij->i", a, a)
+        after = path_cache_info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["size"] == before["size"]
+
+    def test_cache_is_bounded(self):
+        for n in range(1, 101):
+            planned_einsum("ij,ij->i", np.ones((n, 2)), np.ones((n, 2)))
+        info = path_cache_info()
+        assert info["size"] <= 64
+        assert info["misses"] >= 100
