@@ -1,0 +1,259 @@
+"""Flight-recorder pipeline benchmark: sink throughput and run overhead.
+
+Two measurements, written to ``BENCH_obs.json`` (DESIGN.md §13):
+
+1. **Hot-path ingest rate** — sustained ``Sink.write`` events/sec on the
+   producer thread for (a) the synchronous :class:`~repro.obs.JsonlSink`
+   (encode + file write per event, the pre-§13 recorder hot path) and
+   (b) a :class:`~repro.obs.BufferedSink` wrapping the same file sink
+   (one deque append; serialisation happens on the flusher thread). The
+   buffered ingest rate must be at least ``--min-speedup`` (default 10×)
+   higher; the bench exits non-zero otherwise. Queue-drain time is
+   reported separately (``drain_s``) — total bytes on disk are identical
+   either way; what the pipeline buys is taking the encode+write cost off
+   the simulation thread. ``recorder_events_per_sec`` rows give the same
+   A/B through the full :class:`~repro.obs.TraceRecorder.emit` path
+   (event construction + ring append included) for context.
+
+2. **End-to-end overhead** — wall-clock for the FedCA micro-CNN run with
+   telemetry disabled vs a buffered JSONL trace attached, best-of
+   ``--repeats``. Overhead above ``--max-overhead`` (default 5 %) fails
+   the bench; histories must be fingerprint-identical.
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/obs_bench.py --out BENCH_obs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms import build_strategy  # noqa: E402
+from repro.experiments.configs import get_workload, make_environment  # noqa: E402
+from repro.obs import BufferedSink, JsonlSink, TraceEvent, TraceRecorder  # noqa: E402
+
+
+def fingerprint(history):
+    return [
+        (r.round_index, r.end_time, r.accuracy, r.collected_clients, r.total_bytes)
+        for r in history.records
+    ]
+
+
+# ----------------------------------------------------------------------
+# 1. Hot-path ingest rate: sync vs buffered sink
+# ----------------------------------------------------------------------
+def make_events(n: int) -> list:
+    return [
+        TraceEvent(
+            seq=i,
+            kind="client.round",
+            sim_time=i * 0.01,
+            round_index=i >> 5,
+            client_id=i & 31,
+            fields={"iterations_run": 20, "loss": 0.5},
+        )
+        for i in range(n)
+    ]
+
+
+def ingest_rate(path: str, events: list, *, buffered: bool) -> dict:
+    """Time the producer-side write loop, then the drain.
+
+    The buffered queue capacity covers the whole burst, so the timed
+    section measures pure producer cost — the steady-state regime of a
+    real run, where the flusher drains between rounds.
+    """
+    inner = JsonlSink(path)
+    sink = (
+        BufferedSink(inner, capacity=len(events) + 1) if buffered else inner
+    )
+    start = time.perf_counter()
+    for event in events:
+        sink.write(event)
+    emit_s = time.perf_counter() - start
+    start = time.perf_counter()
+    sink.close()
+    drain_s = time.perf_counter() - start
+    return {
+        "sink": "buffered" if buffered else "sync",
+        "events": len(events),
+        "emit_s": round(emit_s, 4),
+        "drain_s": round(drain_s, 4),
+        "events_per_sec": round(len(events) / emit_s),
+        "trace_bytes": os.path.getsize(path),
+    }
+
+
+def recorder_rate(path: str, *, events: int, buffered: bool) -> float:
+    """Full-path ``TraceRecorder.emit`` events/sec (context row)."""
+    rec = TraceRecorder(trace_path=path, buffered=buffered)
+    start = time.perf_counter()
+    for i in range(events):
+        rec.emit(
+            "client.round",
+            sim_time=i * 0.01,
+            round_index=i >> 5,
+            client_id=i & 31,
+            iterations_run=20,
+            loss=0.5,
+        )
+    emit_s = time.perf_counter() - start
+    rec.close()
+    return round(events / emit_s)
+
+
+def throughput_check(args, report) -> int:
+    tmp = Path(args.scratch)
+    events = make_events(args.events)
+    best = {}
+    for buffered in (False, True):
+        key = "buffered" if buffered else "sync"
+        rows = [
+            ingest_rate(
+                str(tmp / f"ingest_{key}_{r}.jsonl"),
+                events,
+                buffered=buffered,
+            )
+            for r in range(args.repeats)
+        ]
+        best[key] = max(rows, key=lambda row: row["events_per_sec"])
+        best[key]["recorder_events_per_sec"] = recorder_rate(
+            str(tmp / f"ingest_rec_{key}.jsonl"),
+            events=args.events,
+            buffered=buffered,
+        )
+    if best["sync"]["trace_bytes"] != best["buffered"]["trace_bytes"]:
+        print("ERROR: buffered trace size diverged from sync", file=sys.stderr)
+        return 1
+    speedup = best["buffered"]["events_per_sec"] / best["sync"]["events_per_sec"]
+    report["ingest"] = {
+        "sync": best["sync"],
+        "buffered": best["buffered"],
+        "ingest_speedup": round(speedup, 2),
+    }
+    print(
+        f"ingest: sync={best['sync']['events_per_sec']:,} ev/s  "
+        f"buffered={best['buffered']['events_per_sec']:,} ev/s  "
+        f"speedup={speedup:.1f}x (floor {args.min_speedup:.0f}x)"
+    )
+    if speedup < args.min_speedup:
+        print(
+            f"ERROR: buffered ingest only {speedup:.1f}x sync "
+            f"(acceptance floor is {args.min_speedup:.0f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# 2. End-to-end enabled-vs-disabled overhead
+# ----------------------------------------------------------------------
+def run_once(cfg, rounds: int, seed: int, recorder):
+    strategy = build_strategy("fedca", cfg.optimizer_spec())
+    sim = make_environment(cfg, strategy, seed=seed, recorder=recorder)
+    try:
+        start = time.perf_counter()
+        history = sim.run(rounds)
+        elapsed = time.perf_counter() - start
+    finally:
+        sim.close()
+    return elapsed, history
+
+
+def overhead_check(args, report) -> int:
+    cfg = replace(
+        get_workload("cnn", "micro"),
+        num_clients=args.clients,
+        num_samples=max(get_workload("cnn", "micro").num_samples, args.clients * 100),
+        local_iterations=10,
+    )
+
+    def best_of(recorder_factory):
+        times, history = [], None
+        for _ in range(args.repeats):
+            rec = recorder_factory()
+            elapsed, history = run_once(cfg, args.rounds, args.seed, rec)
+            if rec is not None:
+                rec.close()
+            times.append(elapsed)
+        return min(times), history
+
+    trace_path = str(Path(args.scratch) / "overhead_trace.jsonl")
+    null_s, hist_null = best_of(lambda: None)
+    buf_s, hist_buf = best_of(
+        lambda: TraceRecorder(trace_path=trace_path, buffered=True)
+    )
+    if fingerprint(hist_null) != fingerprint(hist_buf):
+        print("ERROR: buffered tracing changed the history", file=sys.stderr)
+        return 1
+    overhead = (buf_s - null_s) / null_s
+    report["overhead"] = {
+        "clients": args.clients,
+        "rounds": args.rounds,
+        "disabled_s": round(null_s, 4),
+        "buffered_trace_s": round(buf_s, 4),
+        "overhead_fraction": round(overhead, 4),
+        "trace_bytes": os.path.getsize(trace_path),
+    }
+    print(
+        f"overhead: disabled={null_s:.3f}s buffered-trace={buf_s:.3f}s "
+        f"overhead={overhead * 100:+.1f}% (limit {args.max_overhead * 100:.0f}%)"
+    )
+    if overhead > args.max_overhead:
+        print(
+            f"ERROR: buffered-sink overhead {overhead * 100:.1f}% exceeds "
+            f"{args.max_overhead * 100:.0f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=50_000,
+                        help="synthetic events per ingest measurement")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeat count per measurement")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="buffered-vs-sync ingest floor (default 10x)")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="end-to-end overhead budget (default 0.05)")
+    parser.add_argument("--scratch", default="/tmp",
+                        help="directory for scratch trace files")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).parent.parent / "BENCH_obs.json"),
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "flight-recorder sink throughput and run overhead",
+        "cpu_count": os.cpu_count(),
+        "repeats": args.repeats,
+    }
+    rc = throughput_check(args, report) or overhead_check(args, report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

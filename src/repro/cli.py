@@ -14,11 +14,16 @@ Usage (installed or via ``python -m repro.cli``):
 Table-1-style rows; ``reproduce`` regenerates one named paper artefact;
 ``overhead`` prints the §5.5 profiling-memory accounting.
 
-Telemetry: ``--trace-file`` streams the deterministic JSONL event trace,
-``--metrics-file`` dumps Prometheus-style counters/gauges, and either flag
-also prints the per-run summary table (see :mod:`repro.obs`). All output
-goes through the ``repro.*`` logging namespace, configured once here via
-``--log-level``.
+Telemetry: ``--trace-file`` streams the deterministic JSONL event trace
+(``--trace-sink buffered`` moves the write cost off the hot path without
+changing a byte), ``--metrics-file`` dumps Prometheus-style counters/gauges,
+and either flag also prints the per-run summary table (see
+:mod:`repro.obs`). ``--metrics-port N`` serves the live registry over HTTP
+mid-run (``/metrics`` + ``/status``); ``--profile`` prints the wall-clock
+phase breakdown after the run. Telemetry outputs are finalised in a
+``finally`` block, so traces, metrics dumps and profile reports survive
+mid-run exceptions. All output goes through the ``repro.*`` logging
+namespace, configured once here via ``--log-level``.
 """
 
 from __future__ import annotations
@@ -102,8 +107,27 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
         help="stream the structured telemetry trace to PATH as JSONL "
              "(deterministic, simulated-time-keyed events)")
     parser.add_argument(
+        "--trace-sink", default="sync", choices=["sync", "buffered"],
+        help="how --trace-file is written: 'sync' (default) writes each "
+             "event inline; 'buffered' batches events through a background "
+             "flusher thread with block backpressure — same bytes, the "
+             "write cost moves off the hot path")
+    parser.add_argument(
         "--metrics-file", metavar="PATH", default=None,
         help="write Prometheus-style text metrics to PATH after the run")
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve the live metrics registry on 127.0.0.1:PORT while the "
+             "run executes: Prometheus text at /metrics, a JSON run-status "
+             "document at /status (0 picks a free port, which is logged)")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="measure wall-clock phase spans (select/broadcast/client.train/"
+             "collect/aggregate/evaluate/telemetry/checkpoint + transport "
+             "sub-spans) and print the per-run profile report")
+    parser.add_argument(
+        "--profile-file", metavar="PATH", default=None,
+        help="also write the profile report to PATH (implies --profile)")
 
 
 def _make_recorder(
@@ -115,13 +139,61 @@ def _make_recorder(
     with ``"w"`` would wipe the pre-crash half of the stream. The resume
     path restores the recorder state from the checkpoint and attaches the
     sink at the checkpointed byte offset (see :mod:`repro.persist`)."""
-    if args.trace_file is None and args.metrics_file is None:
+    if (
+        args.trace_file is None
+        and args.metrics_file is None
+        and args.metrics_port is None
+    ):
         return None
-    return TraceRecorder(trace_path=args.trace_file, defer_sink=resuming)
+    return TraceRecorder(
+        trace_path=args.trace_file,
+        buffered=args.trace_sink == "buffered",
+        defer_sink=resuming,
+    )
 
 
-def _finish_telemetry(recorder: TraceRecorder | None, args: argparse.Namespace) -> None:
-    """Close the sink, write the metrics dump, print the summary table."""
+def _make_profiler(args: argparse.Namespace):
+    """A PhaseProfiler when --profile/--profile-file is set, else None."""
+    if getattr(args, "profile", False) or getattr(args, "profile_file", None):
+        from .obs import PhaseProfiler
+
+        return PhaseProfiler()
+    return None
+
+
+def _start_metrics_server(recorder, args: argparse.Namespace):
+    """Start the live HTTP endpoint when --metrics-port is set."""
+    if getattr(args, "metrics_port", None) is None or recorder is None:
+        return None
+    from .obs import MetricsServer
+
+    server = MetricsServer(recorder, port=args.metrics_port).start()
+    logger.info(
+        "metrics endpoint live at %s/metrics (run status at /status)",
+        server.url,
+    )
+    return server
+
+
+def _finish_telemetry(
+    recorder: TraceRecorder | None,
+    args: argparse.Namespace,
+    *,
+    profiler=None,
+    server=None,
+) -> None:
+    """Stop the endpoint, close the sink, write the metrics dump, print the
+    summary table and the profile report. Runs in a ``finally`` so every
+    telemetry output survives a mid-run exception."""
+    if server is not None:
+        server.close()
+    if profiler is not None:
+        report = profiler.report()
+        logger.info("%s", report)
+        if getattr(args, "profile_file", None):
+            with open(args.profile_file, "w") as fh:
+                fh.write(report + "\n")
+            logger.info("profile report written to %s", args.profile_file)
     if recorder is None:
         return
     recorder.close()
@@ -267,75 +339,86 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     cfg = get_workload(args.workload, args.scale)
     recorder = _make_recorder(args, resuming=args.resume)
+    profiler = _make_profiler(args)
+    server = _start_metrics_server(recorder, args)
     from .persist import CheckpointNotFoundError
 
     try:
-        result = run_scheme(
-            cfg,
-            args.scheme,
-            rounds=args.rounds,
-            stop_at_target=not args.no_target_stop,
-            seed=args.seed,
-            executor=_executor_spec(args),
-            recorder=recorder,
-            cache=_make_cache(args),
-            checkpoint_dir=args.checkpoint_dir,
-            checkpoint_every=args.checkpoint_every,
-            resume=args.resume,
-            crash_after_round=args.crash_after_round,
+        try:
+            result = run_scheme(
+                cfg,
+                args.scheme,
+                rounds=args.rounds,
+                stop_at_target=not args.no_target_stop,
+                seed=args.seed,
+                executor=_executor_spec(args),
+                recorder=recorder,
+                profiler=profiler,
+                cache=_make_cache(args),
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+                crash_after_round=args.crash_after_round,
+            )
+        except CheckpointNotFoundError as exc:
+            logger.error("cannot resume: %s", exc)
+            return 2
+        hist = result.history
+        tta = hist.time_to_accuracy(cfg.target_accuracy)
+        logger.info(
+            "%s on %s (%s): %d rounds, mean round %.2fs, final acc %.3f%s",
+            result.scheme, args.workload, args.scale,
+            hist.num_rounds, hist.mean_round_time(), hist.final_accuracy,
+            f", target {cfg.target_accuracy} in {tta[0]:.1f}s" if tta else "",
         )
-    except CheckpointNotFoundError as exc:
-        logger.error("cannot resume: %s", exc)
-        return 2
-    hist = result.history
-    tta = hist.time_to_accuracy(cfg.target_accuracy)
-    logger.info(
-        "%s on %s (%s): %d rounds, mean round %.2fs, final acc %.3f%s",
-        result.scheme, args.workload, args.scale,
-        hist.num_rounds, hist.mean_round_time(), hist.final_accuracy,
-        f", target {cfg.target_accuracy} in {tta[0]:.1f}s" if tta else "",
-    )
-    if args.json:
-        from .runtime import history_to_json
+        if args.json:
+            from .runtime import history_to_json
 
-        with open(args.json, "w") as fh:
-            fh.write(history_to_json(hist, indent=2))
-        logger.info("history written to %s", args.json)
-    _finish_telemetry(recorder, args)
-    return 0
+            with open(args.json, "w") as fh:
+                fh.write(history_to_json(hist, indent=2))
+            logger.info("history written to %s", args.json)
+        return 0
+    finally:
+        _finish_telemetry(recorder, args, profiler=profiler, server=server)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """`repro compare` — several schemes under identical conditions."""
     cfg = get_workload(args.workload, args.scale)
     recorder = _make_recorder(args)
-    results = compare_schemes(
-        cfg, args.schemes, rounds=args.rounds, seed=args.seed,
-        executor=_executor_spec(args), recorder=recorder,
-        cache=_make_cache(args),
-    )
-    rows = []
-    for res in results:
-        tta = res.history.time_to_accuracy(cfg.target_accuracy)
-        rows.append(
-            [
-                res.scheme,
-                f"{res.mean_round_time:.2f}",
-                tta[1] if tta else "—",
-                f"{tta[0]:.1f}" if tta else "—",
-                f"{res.history.final_accuracy:.3f}",
-            ]
+    profiler = _make_profiler(args)
+    server = _start_metrics_server(recorder, args)
+    try:
+        results = compare_schemes(
+            cfg, args.schemes, rounds=args.rounds, seed=args.seed,
+            executor=_executor_spec(args), recorder=recorder,
+            profiler=profiler, cache=_make_cache(args),
         )
-    logger.info(
-        "%s",
-        format_table(
-            ["Scheme", "Per-round (s)", "# Rounds", "Total time (s)", "Final acc"],
-            rows,
-            title=f"{args.workload} ({args.scale}), target {cfg.target_accuracy}",
-        ),
-    )
-    _finish_telemetry(recorder, args)
-    return 0
+        rows = []
+        for res in results:
+            tta = res.history.time_to_accuracy(cfg.target_accuracy)
+            rows.append(
+                [
+                    res.scheme,
+                    f"{res.mean_round_time:.2f}",
+                    tta[1] if tta else "—",
+                    f"{tta[0]:.1f}" if tta else "—",
+                    f"{res.history.final_accuracy:.3f}",
+                ]
+            )
+        logger.info(
+            "%s",
+            format_table(
+                ["Scheme", "Per-round (s)", "# Rounds", "Total time (s)",
+                 "Final acc"],
+                rows,
+                title=f"{args.workload} ({args.scale}), "
+                      f"target {cfg.target_accuracy}",
+            ),
+        )
+        return 0
+    finally:
+        _finish_telemetry(recorder, args, profiler=profiler, server=server)
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:

@@ -245,12 +245,15 @@ def make_environment(
     dynamic: bool = True,
     executor=None,
     recorder=None,
+    profiler=None,
 ):
     """Assemble a :class:`~repro.runtime.FederatedSimulator` for a preset.
 
     ``executor`` selects the client-execution engine (``None``/``"serial"``,
     ``"parallel[:N]"``, or an :class:`~repro.runtime.Executor` instance);
-    ``recorder`` an optional :class:`~repro.obs.Recorder` telemetry sink.
+    ``recorder`` an optional :class:`~repro.obs.Recorder` telemetry sink;
+    ``profiler`` an optional :class:`~repro.obs.PhaseProfiler` for
+    wall-clock phase breakdowns.
     """
     from ..runtime import FederatedSimulator
 
@@ -272,4 +275,5 @@ def make_environment(
         seed=seed,
         executor=executor,
         recorder=recorder,
+        profiler=profiler,
     )

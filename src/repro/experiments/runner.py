@@ -58,6 +58,7 @@ def run_scheme(
     fedca_config: FedCAConfig | None = None,
     executor=None,
     recorder=None,
+    profiler=None,
     cache: "ResultCache | None" = None,
     checkpoint_dir: str | None = None,
     checkpoint_every: int | None = None,
@@ -73,7 +74,9 @@ def run_scheme(
     the resulting history is engine-independent. ``recorder`` is an
     optional :class:`~repro.obs.Recorder` telemetry sink; a single
     recorder may be shared across runs (a ``run.start`` event marks each
-    scheme's stream).
+    scheme's stream). ``profiler`` is an optional
+    :class:`~repro.obs.PhaseProfiler`; checkpoint saves are attributed to
+    its ``checkpoint`` phase.
 
     Persistence (see :mod:`repro.persist`):
 
@@ -141,7 +144,7 @@ def run_scheme(
         # naively ("w") would truncate the first half of the stream.
         sim = make_environment(
             cfg, strategy, seed=seed, dynamic=dynamic, executor=executor,
-            recorder=None,
+            recorder=None, profiler=profiler,
         )
         ckpt = sim.resume(ckpt_path)
         rounds_done = ckpt.rounds_completed
@@ -165,7 +168,7 @@ def run_scheme(
             )
         sim = make_environment(
             cfg, strategy, seed=seed, dynamic=dynamic, executor=executor,
-            recorder=recorder,
+            recorder=recorder, profiler=profiler,
         )
 
     def on_round(_record) -> None:
@@ -177,7 +180,8 @@ def run_scheme(
         ):
             from ..persist import save_run_checkpoint
 
-            save_run_checkpoint(sim, checkpoint_dir)
+            with sim.profiler.phase("checkpoint"):
+                save_run_checkpoint(sim, checkpoint_dir)
         if crash_after_round is not None and done >= crash_after_round:
             # Hard kill, no cleanup/flush — indistinguishable from a real
             # crash, which is exactly what the resume oracle must survive.
@@ -231,6 +235,7 @@ def compare_schemes(
     fedca_config: FedCAConfig | None = None,
     executor=None,
     recorder=None,
+    profiler=None,
     cache: "ResultCache | None" = None,
 ) -> list[SchemeResult]:
     """Run several schemes under identical data/system conditions.
@@ -248,6 +253,7 @@ def compare_schemes(
             fedca_config=fedca_config,
             executor=executor,
             recorder=recorder,
+            profiler=profiler,
             cache=cache,
         )
         for scheme in schemes

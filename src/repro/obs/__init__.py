@@ -1,17 +1,26 @@
 """``repro.obs`` — runtime telemetry: structured tracing, metrics, logging.
 
-The observability substrate every layer reports through (DESIGN.md §9):
+The observability substrate every layer reports through (DESIGN.md §9, §13):
 
 * :class:`Recorder` / :class:`NullRecorder` / :class:`TraceRecorder` —
   the sink protocol, the zero-overhead default, and the bounded-ring
-  implementation with a streaming JSONL sink.
+  implementation with a pluggable streaming sink.
+* :mod:`repro.obs.sinks` — the flight-recorder pipeline: JSONL, compact
+  binary, rotating-file, and background-flushed buffered sinks with
+  explicit backpressure policies.
+* :mod:`repro.obs.profile` — hierarchical wall-clock phase profiler with
+  per-round percent breakdowns and ``repro_phase_seconds`` gauges.
+* :mod:`repro.obs.server` — opt-in live HTTP endpoint (``/metrics`` +
+  ``/status``) for watching long runs.
 * :mod:`repro.obs.events` — the deterministic, simulated-time event schema.
 * :mod:`repro.obs.export` — JSONL / Prometheus-text / summary-table dumps.
-* :mod:`repro.obs.analysis` — Fig. 8-style reconstructions from a trace.
+* :mod:`repro.obs.analysis` — Fig. 8-style reconstructions from a trace
+  (with dropped-event/overflow detection).
 * :func:`configure_logging` — the single ``repro.*`` logging entry point.
 """
 
 from .analysis import (
+    TruncatedTraceError,
     client_iteration_counts,
     eager_iterations,
     early_stop_iterations,
@@ -25,7 +34,26 @@ from .export import (
     write_trace_jsonl,
 )
 from .logsetup import LOG_LEVELS, configure_logging
+from .profile import (
+    NULL_PROFILER,
+    PHASE_SECONDS,
+    NullPhaseProfiler,
+    PhaseProfiler,
+    phase_gauge_name,
+)
 from .recorder import NULL_RECORDER, NullRecorder, Recorder, TraceRecorder
+from .server import MetricsServer
+from .sinks import (
+    BACKPRESSURE_POLICIES,
+    TRACE_DROPPED_TOTAL,
+    BinarySink,
+    BufferedSink,
+    JsonlSink,
+    RotatingFileSink,
+    Sink,
+    SinkError,
+    read_binary_trace,
+)
 
 __all__ = [
     "Recorder",
@@ -34,6 +62,21 @@ __all__ = [
     "NULL_RECORDER",
     "TraceEvent",
     "EVENT_KINDS",
+    "Sink",
+    "JsonlSink",
+    "BinarySink",
+    "RotatingFileSink",
+    "BufferedSink",
+    "SinkError",
+    "read_binary_trace",
+    "BACKPRESSURE_POLICIES",
+    "TRACE_DROPPED_TOTAL",
+    "PhaseProfiler",
+    "NullPhaseProfiler",
+    "NULL_PROFILER",
+    "PHASE_SECONDS",
+    "phase_gauge_name",
+    "MetricsServer",
     "events_to_jsonl",
     "write_trace_jsonl",
     "metrics_to_text",
@@ -42,6 +85,7 @@ __all__ = [
     "early_stop_iterations",
     "eager_iterations",
     "client_iteration_counts",
+    "TruncatedTraceError",
     "configure_logging",
     "LOG_LEVELS",
 ]

@@ -6,6 +6,13 @@ decision distributions without touching the
 :class:`~repro.runtime.history.RunHistory` — the acceptance check that the
 telemetry layer captures *why* each client stopped/transmitted, not just
 end-of-round summaries.
+
+Every reconstruction first validates the trace for overflow: events carry
+monotone sequence numbers, so a ring that wrapped (``TraceRecorder``
+``dropped_events``) or a lossy buffered sink (``drop_oldest`` backpressure)
+leaves gaps. Computing a CDF from a silently truncated trace would be
+quietly wrong, so these helpers raise :class:`TruncatedTraceError` with a
+remediation hint instead.
 """
 
 from __future__ import annotations
@@ -13,14 +20,56 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 __all__ = [
+    "TruncatedTraceError",
+    "validate_trace_complete",
     "early_stop_iterations",
     "eager_iterations",
     "client_iteration_counts",
 ]
 
 
+class TruncatedTraceError(ValueError):
+    """The trace lost events (ring wrap or lossy sink backpressure).
+
+    Raised by the analysis helpers instead of silently computing a
+    distribution from a partial trace.
+    """
+
+
 def _as_dicts(events: Iterable[Any]) -> list[dict[str, Any]]:
     return [e.as_dict() if hasattr(e, "as_dict") else e for e in events]
+
+
+def validate_trace_complete(dicts: list[dict[str, Any]]) -> None:
+    """Raise :class:`TruncatedTraceError` if sequence numbers show a loss.
+
+    A complete trace starts at ``seq == 0`` and is gap-free. A nonzero
+    first seq means the recorder ring wrapped (events fell off the front);
+    an interior gap means a lossy sink (``BufferedSink`` with
+    ``drop_oldest``) discarded events under backpressure. Events without a
+    ``seq`` field (e.g. hand-built dicts in unit tests) are not checked.
+    """
+    seqs = sorted(
+        int(e["seq"]) for e in dicts if isinstance(e, dict) and "seq" in e
+    )
+    if not seqs:
+        return
+    if seqs[0] != 0:
+        raise TruncatedTraceError(
+            f"trace is truncated: first event has seq={seqs[0]}, so "
+            f"{seqs[0]} earlier events were dropped (recorder ring "
+            "overflow). Re-run with a larger TraceRecorder capacity= or "
+            "stream the full run to disk with trace_path=/a streaming sink."
+        )
+    for prev, cur in zip(seqs, seqs[1:]):
+        if cur > prev + 1:
+            raise TruncatedTraceError(
+                f"trace has a gap: seq jumps {prev} -> {cur} "
+                f"({cur - prev - 1} events missing — lossy sink "
+                "backpressure, see repro_trace_dropped_total). Use "
+                'BufferedSink(policy="block") or a larger sink capacity= '
+                "to keep the trace lossless."
+            )
 
 
 def early_stop_iterations(events: Iterable[Any]) -> list[int]:
@@ -29,9 +78,11 @@ def early_stop_iterations(events: Iterable[Any]) -> list[int]:
     Matches :meth:`repro.runtime.history.RunHistory.early_stop_iterations`
     when reconstructed from the same run's trace.
     """
+    dicts = _as_dicts(events)
+    validate_trace_complete(dicts)
     return [
         int(e["fields"]["tau"])
-        for e in _as_dicts(events)
+        for e in dicts
         if e["kind"] == "fedca.earlystop.stop" and e["fields"]["early"]
     ]
 
@@ -44,6 +95,7 @@ def eager_iterations(events: Iterable[Any], *, effective: bool) -> list[int]:
     :meth:`repro.runtime.history.RunHistory.eager_iterations`.
     """
     dicts = _as_dicts(events)
+    validate_trace_complete(dicts)
     final_iters = {
         (e["round"], e["client"]): int(e["fields"]["iterations_run"])
         for e in dicts
@@ -70,8 +122,10 @@ def eager_iterations(events: Iterable[Any], *, effective: bool) -> list[int]:
 def client_iteration_counts(events: Iterable[Any]) -> dict[int, list[int]]:
     """Per-client executed-iteration counts, one entry per round the client
     ran (anchor rounds included) — the raw series behind Fig. 8's CDFs."""
+    dicts = _as_dicts(events)
+    validate_trace_complete(dicts)
     out: dict[int, list[int]] = {}
-    for e in _as_dicts(events):
+    for e in dicts:
         if e["kind"] == "client.round":
             out.setdefault(int(e["client"]), []).append(
                 int(e["fields"]["iterations_run"])

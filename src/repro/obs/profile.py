@@ -1,0 +1,284 @@
+"""Hierarchical wall-clock phase profiler for the runtime.
+
+Where the event trace is keyed on *simulated* time (and therefore
+deterministic), this module measures where the *wall clock* actually goes:
+``select``, ``broadcast``, ``client.train``, ``collect``, ``aggregate``,
+``evaluate``, ``checkpoint``, plus transport sub-spans — instrumented
+through the simulator, both process executors, the cohort engine and the
+shm transport (DESIGN.md §13).
+
+Usage::
+
+    prof = PhaseProfiler()
+    sim = FederatedSimulator(..., profiler=prof)
+    sim.run(rounds)
+    print(prof.report())
+
+Phases nest: opening ``phase("stage")`` while ``phase("broadcast")`` is
+active records under the path ``broadcast/stage``. Depth-0 phases are the
+per-round budget — each round's lap time is split across them plus an
+explicit ``(untracked)`` remainder, so the percent-of-round breakdown sums
+to 100 by construction (the acceptance check in ``tests/test_profile.py``
+guards against double-counted or overlapping spans).
+
+Wall-clock is inherently nondeterministic, so phase totals surface as
+recorder *gauges* (``repro_phase_seconds{phase=...,executor=...}``), never
+counters — the crash-resume oracle (:mod:`repro.persist`) compares counter
+registries bitwise and must not see wall time (same rule as
+``repro_ipc_broadcast_seconds``).
+
+The default :data:`NULL_PROFILER` is disabled and allocation-free: every
+``phase(...)`` returns one shared no-op context manager, so uninstrumented
+runs pay a few attribute lookups per round.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = [
+    "PhaseProfiler",
+    "NullPhaseProfiler",
+    "NULL_PROFILER",
+    "PHASE_SECONDS",
+    "phase_gauge_name",
+]
+
+#: Metric family for cumulative per-phase wall seconds.
+PHASE_SECONDS = "repro_phase_seconds"
+
+#: Canonical depth-0 phase order for reports (unknown phases append).
+_PHASE_ORDER = (
+    "select",
+    "broadcast",
+    "client.train",
+    "collect",
+    "aggregate",
+    "evaluate",
+    "telemetry",
+    "checkpoint",
+)
+
+_UNTRACKED = "(untracked)"
+
+
+def phase_gauge_name(phase: str, executor: str) -> str:
+    """Gauge name for one phase path under one executor."""
+    return f'{PHASE_SECONDS}{{phase="{phase}",executor="{executor}"}}'
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _PhaseSpan:
+    """Reusable-shape context manager for one open span."""
+
+    __slots__ = ("_profiler", "_name", "_path", "_start")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self):
+        prof = self._profiler
+        stack = prof._stack
+        self._path = (
+            f"{stack[-1]}/{self._name}" if stack else self._name
+        )
+        stack.append(self._path)
+        self._start = prof._clock()
+        return self
+
+    def __exit__(self, *exc):
+        prof = self._profiler
+        elapsed = prof._clock() - self._start
+        prof._stack.pop()
+        totals = prof.totals
+        totals[self._path] = totals.get(self._path, 0.0) + elapsed
+        prof.counts[self._path] = prof.counts.get(self._path, 0) + 1
+        return False
+
+
+class PhaseProfiler:
+    """Accumulates nested wall-clock spans and per-round breakdowns."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        executor: str = "serial",
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.executor_label = executor
+        self._clock = clock
+        self._stack: list[str] = []
+        #: path -> cumulative inclusive seconds / span count.
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        #: One dict per completed round: depth-0 phase seconds +
+        #: ``(untracked)`` + ``total`` (the round's wall-clock lap).
+        self.rounds: list[dict[str, float]] = []
+        self._round_start: float | None = None
+        self._round_snapshot: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def set_executor_label(self, name: str) -> None:
+        self.executor_label = name
+
+    def phase(self, name: str):
+        """Context manager timing one span (nested under any open span)."""
+        return _PhaseSpan(self, name)
+
+    # ------------------------------------------------------------------
+    # Round laps: begin_round() closes the previous round (so work done
+    # between rounds — checkpointing, progress callbacks — still lands in
+    # a lap) and finish() closes the last one.
+    # ------------------------------------------------------------------
+    def begin_round(self) -> None:
+        now = self._clock()
+        if self._round_start is not None:
+            self._close_round(now)
+        self._round_start = now
+        self._round_snapshot = {
+            p: s for p, s in self.totals.items() if "/" not in p
+        }
+
+    def finish(self) -> None:
+        """Close the open round lap, if any. Idempotent."""
+        if self._round_start is not None:
+            self._close_round(self._clock())
+            self._round_start = None
+
+    def _close_round(self, now: float) -> None:
+        total = now - self._round_start
+        snap = self._round_snapshot
+        phases = {
+            p: s - snap.get(p, 0.0)
+            for p, s in self.totals.items()
+            if "/" not in p and s - snap.get(p, 0.0) > 0.0
+        }
+        tracked = sum(phases.values())
+        lap = dict(phases)
+        lap[_UNTRACKED] = max(total - tracked, 0.0)
+        lap["total"] = max(total, tracked)
+        self.rounds.append(lap)
+
+    # ------------------------------------------------------------------
+    def mirror(self, recorder) -> None:
+        """Publish cumulative phase seconds as recorder gauges."""
+        if recorder is None or not getattr(recorder, "enabled", False):
+            return
+        label = self.executor_label
+        for path, seconds in self.totals.items():
+            recorder.gauge(
+                phase_gauge_name(path.replace("/", "."), label), seconds
+            )
+
+    # ------------------------------------------------------------------
+    def round_breakdowns(self) -> list[dict[str, float]]:
+        """Per-round depth-0 phase seconds (``(untracked)`` + ``total``
+        included); finishes the open lap first."""
+        self.finish()
+        return [dict(r) for r in self.rounds]
+
+    @staticmethod
+    def _ordered(paths) -> list[str]:
+        known = [p for p in _PHASE_ORDER if p in paths]
+        extra = sorted(p for p in paths if p not in _PHASE_ORDER)
+        return known + extra
+
+    def report(self) -> str:
+        """Fixed-width per-run profile table (percent-of-run breakdown).
+
+        Depth-0 rows plus ``(untracked)`` partition the profiled wall
+        clock, so their percentages sum to 100; nested sub-spans are
+        indented underneath their parent and counted *within* it.
+        """
+        self.finish()
+        total = sum(r["total"] for r in self.rounds)
+        n_rounds = len(self.rounds)
+        header = (
+            f"Phase profile — executor={self.executor_label}, "
+            f"rounds={n_rounds}, profiled {total:.3f}s wall-clock"
+        )
+        if not self.rounds or total <= 0:
+            return header + "\n  (no profiled rounds)"
+        untracked = sum(r.get(_UNTRACKED, 0.0) for r in self.rounds)
+
+        rows: list[tuple[str, float]] = []
+        top = self._ordered({p for p in self.totals if "/" not in p})
+        for path in top:
+            rows.append((path, self.totals[path]))
+            children = self._ordered(
+                {
+                    p
+                    for p in self.totals
+                    if p.startswith(path + "/")
+                }
+            )
+            for child in children:
+                depth = child.count("/")
+                label = "  " * depth + child.rsplit("/", 1)[1]
+                rows.append((label, self.totals[child]))
+        rows.append((_UNTRACKED, untracked))
+
+        table = [("phase", "seconds", "% of run", "s/round")]
+        for label, seconds in rows:
+            table.append(
+                (
+                    label,
+                    f"{seconds:.3f}",
+                    f"{100.0 * seconds / total:.1f}%",
+                    f"{seconds / n_rounds:.4f}",
+                )
+            )
+        table.append(("total", f"{total:.3f}", "100.0%", f"{total / n_rounds:.4f}"))
+        widths = [max(len(r[i]) for r in table) for i in range(4)]
+        lines = [header]
+        for j, row in enumerate(table):
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+            if j == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+class NullPhaseProfiler(PhaseProfiler):
+    """Disabled profiler: every hook is (nearly) free, nothing is recorded."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def phase(self, name: str):
+        return _NULL_CONTEXT
+
+    def begin_round(self) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def mirror(self, recorder) -> None:
+        pass
+
+    def report(self) -> str:
+        return "Phase profile disabled (pass profiler=PhaseProfiler() to enable)"
+
+
+#: Shared default instance — stateless, safe to reuse across simulators.
+NULL_PROFILER = NullPhaseProfiler()

@@ -21,13 +21,13 @@ for serial and parallel executions of the same run.
 
 from __future__ import annotations
 
-import json
-import os
+import atexit
 import time
 from collections import deque
 from typing import Any, Iterable
 
 from .events import TraceEvent
+from .sinks import TRACE_DROPPED_TOTAL, BufferedSink, JsonlSink, Sink
 
 __all__ = ["Recorder", "NullRecorder", "TraceRecorder", "NULL_RECORDER"]
 
@@ -110,15 +110,27 @@ NULL_RECORDER = NullRecorder()
 
 
 class TraceRecorder(Recorder):
-    """In-memory ring buffer + metrics registry + optional JSONL sink.
+    """In-memory ring buffer + metrics registry + optional streaming sink.
 
     Parameters
     ----------
     capacity:
         Ring size; the oldest events fall off first (``dropped_events``
-        counts them). The JSONL sink, if any, still receives every event.
+        counts them). The streaming sink, if any, still receives every
+        event.
     trace_path:
-        Stream every event to this file as one JSON object per line.
+        Stream every event to this file as one JSON object per line
+        (a :class:`~repro.obs.sinks.JsonlSink`; wrapped in a
+        :class:`~repro.obs.sinks.BufferedSink` when ``buffered=True``).
+    sink:
+        An explicit :class:`~repro.obs.sinks.Sink` instead of
+        ``trace_path`` — binary, rotating, buffered, or custom pipelines
+        (see :mod:`repro.obs.sinks`). Mutually exclusive with
+        ``trace_path``.
+    buffered:
+        Wrap the ``trace_path`` sink in a background-flushed
+        :class:`~repro.obs.sinks.BufferedSink` (``block`` policy, so the
+        written stream stays byte-identical to the synchronous one).
     wall_clock:
         Also stamp events with ``time.monotonic()``. Off by default so
         traces are reproducible byte-for-byte; determinism tests compare
@@ -129,6 +141,16 @@ class TraceRecorder(Recorder):
         first half of the trace, so the resume path restores the recorder
         state first and then calls :meth:`attach_sink` with the
         checkpointed byte offset.
+
+    Crash safety
+    ------------
+    A recorder with a sink registers an ``atexit`` hook that flushes and
+    closes it, and the simulator's run loop flushes the recorder in a
+    ``finally`` block — so the trace written so far (and therefore any
+    post-mortem ``--metrics-file`` dump the CLI emits from its own
+    ``finally``) survives exceptions and normal interpreter death. Only a
+    hard kill (SIGKILL) can lose the tail past the last flush; the
+    checkpoint/resume layer is the recovery story there.
     """
 
     enabled = True
@@ -138,11 +160,15 @@ class TraceRecorder(Recorder):
         *,
         capacity: int = 100_000,
         trace_path: str | None = None,
+        sink: Sink | None = None,
+        buffered: bool = False,
         wall_clock: bool = False,
         defer_sink: bool = False,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if sink is not None and trace_path is not None:
+            raise ValueError("pass trace_path or sink, not both")
         self.capacity = capacity
         self.wall_clock = wall_clock
         self._ring: deque[TraceEvent] = deque(maxlen=capacity)
@@ -151,8 +177,36 @@ class TraceRecorder(Recorder):
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self._trace_path = trace_path
-        self._sink = open(trace_path, "w") if trace_path and not defer_sink else None
+        self._buffered = buffered
+        self._sink: Sink | None = None
         self._closed = False
+        self._atexit_registered = False
+        if sink is not None:
+            self._adopt_sink(sink)
+        elif trace_path and not defer_sink:
+            self._adopt_sink(self._build_path_sink(trace_path))
+
+    # ------------------------------------------------------------------
+    def _build_path_sink(self, path: str, *, offset: int | None = None) -> Sink:
+        inner: Sink = JsonlSink(path, resume_offset=offset)
+        if self._buffered:
+            inner = BufferedSink(inner)
+        return inner
+
+    def _adopt_sink(self, sink: Sink) -> None:
+        self._sink = sink
+        # Lossy buffered sinks account their drops in the metrics registry
+        # (and the registry shows a zero until something actually drops).
+        if isinstance(sink, BufferedSink):
+            if sink.on_drop is None:
+                sink.on_drop = lambda n: self.counter(TRACE_DROPPED_TOTAL, n)
+            if sink.policy == "drop_oldest":
+                self.counters.setdefault(TRACE_DROPPED_TOTAL, 0)
+        if not self._atexit_registered:
+            # Crash safety: flush+close the sink even if nobody calls
+            # close() before the interpreter exits (unregistered on close).
+            atexit.register(self.close)
+            self._atexit_registered = True
 
     # ------------------------------------------------------------------
     def _record(
@@ -177,13 +231,7 @@ class TraceRecorder(Recorder):
             self.dropped_events += 1
         self._ring.append(event)
         if self._sink is not None:
-            self._sink.write(
-                json.dumps(
-                    event.as_dict(drop_wall_clock=not self.wall_clock),
-                    sort_keys=True,
-                )
-                + "\n"
-            )
+            self._sink.write(event)
 
     def emit(
         self,
@@ -239,6 +287,16 @@ class TraceRecorder(Recorder):
         """Total events recorded (including any dropped from the ring)."""
         return self._seq
 
+    @property
+    def sink_dropped_events(self) -> int:
+        """Events a lossy buffered sink discarded (0 for other sinks)."""
+        return int(getattr(self._sink, "dropped_events", 0))
+
+    @property
+    def sink(self) -> Sink | None:
+        """The attached streaming sink, if any."""
+        return self._sink
+
     def events(self, kind: str | None = None) -> list[TraceEvent]:
         """Events currently in the ring, optionally filtered by kind."""
         if kind is None:
@@ -264,8 +322,9 @@ class TraceRecorder(Recorder):
             "gauges": dict(self.gauges),
         }
         if self._sink is not None:
-            os.fsync(self._sink.fileno())
-            snapshot["sink_offset"] = self._sink.tell()
+            offset = self._sink.sync()
+            if offset is not None:
+                snapshot["sink_offset"] = offset
         return snapshot
 
     def restore_state(self, snapshot: dict) -> None:
@@ -287,13 +346,7 @@ class TraceRecorder(Recorder):
         """
         if self._trace_path is None or self._sink is not None:
             return
-        if offset is not None and os.path.exists(self._trace_path):
-            fh = open(self._trace_path, "r+")
-            fh.seek(int(offset))
-            fh.truncate()
-            self._sink = fh
-        else:
-            self._sink = open(self._trace_path, "w")
+        self._adopt_sink(self._build_path_sink(self._trace_path, offset=offset))
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
@@ -304,8 +357,13 @@ class TraceRecorder(Recorder):
         if self._closed:
             return
         self._closed = True
+        if self._atexit_registered:
+            self._atexit_registered = False
+            try:
+                atexit.unregister(self.close)
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
         if self._sink is not None:
-            self._sink.flush()
             self._sink.close()
             self._sink = None
 

@@ -1,0 +1,183 @@
+"""Live metrics endpoint: watch a long run without waiting for it.
+
+:class:`MetricsServer` wraps a :class:`~repro.obs.recorder.TraceRecorder`
+in a stdlib threaded HTTP server (no third-party dependencies) serving:
+
+* ``GET /metrics`` — the Prometheus text exposition of every counter and
+  gauge (:func:`~repro.obs.export.metrics_to_text`), scrape-ready.
+* ``GET /status`` (also ``/``) — a JSON run-status document: current
+  round, simulated clock, trace-event throughput (since the previous
+  status request), drop accounting, and the full counter/gauge registries
+  (cache hits, IPC bytes, cohort occupancy, …).
+
+The server runs on a daemon thread and reads the recorder's registries
+without locks — the producer is single-threaded and dict reads are
+GIL-atomic; the rare resize-during-iteration ``RuntimeError`` is retried.
+It observes the run, it never mutates it: attaching the endpoint cannot
+change a history or a trace byte.
+
+Opt in from the CLI with ``--metrics-port N`` (0 picks a free port, the
+chosen one is logged)::
+
+    repro run --workload cnn --scheme fedca --metrics-port 9090 &
+    curl localhost:9090/metrics
+    curl localhost:9090/status | python -m json.tool
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+from .export import metrics_to_text
+from .sinks import TRACE_DROPPED_TOTAL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .recorder import TraceRecorder
+
+__all__ = ["MetricsServer"]
+
+
+def _snapshot(registry: dict) -> dict:
+    """Copy a registry the producer may be mutating concurrently."""
+    for _ in range(5):
+        try:
+            return dict(registry)
+        except RuntimeError:  # pragma: no cover - resize mid-copy
+            continue
+    return {}  # pragma: no cover - persistent contention
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_Server"
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.server.metrics.metrics_text().encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path in ("/", "/status"):
+            body = (
+                json.dumps(self.server.metrics.status(), sort_keys=True) + "\n"
+            ).encode("utf-8")
+            ctype = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics or /status)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # silence per-request stderr spam
+        pass
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    metrics: "MetricsServer"
+
+
+class MetricsServer:
+    """Serve a recorder's registries over HTTP while a run is live.
+
+    Parameters
+    ----------
+    recorder:
+        The :class:`~repro.obs.recorder.TraceRecorder` to expose.
+    port:
+        TCP port; 0 (default) binds a free one — read :attr:`port` after
+        construction.
+    host:
+        Bind address; loopback by default (this is a debugging endpoint,
+        not a public service).
+    """
+
+    def __init__(
+        self,
+        recorder: "TraceRecorder",
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.recorder = recorder
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.metrics = self
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self._thread: threading.Thread | None = None
+        self._started_at = time.monotonic()
+        self._last_sample = (self._started_at, self._num_events())
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _num_events(self) -> int:
+        return int(getattr(self.recorder, "num_events", 0))
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        """Begin serving on a daemon thread (idempotent)."""
+        if self._thread is None and not self._closed:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """The Prometheus text body served at ``/metrics``."""
+        return metrics_to_text(self.recorder)
+
+    def status(self) -> dict:
+        """The JSON run-status document served at ``/status``."""
+        now = time.monotonic()
+        events = self._num_events()
+        last_t, last_n = self._last_sample
+        self._last_sample = (now, events)
+        window = now - last_t
+        uptime = now - self._started_at
+        counters = _snapshot(getattr(self.recorder, "counters", {}))
+        gauges = _snapshot(getattr(self.recorder, "gauges", {}))
+        return {
+            "round": int(counters.get("repro_rounds_total", 0)),
+            "sim_time_seconds": float(
+                gauges.get("repro_sim_time_seconds", 0.0)
+            ),
+            "trace_events": events,
+            "events_per_sec": (
+                (events - last_n) / window if window > 0 else 0.0
+            ),
+            "events_per_sec_avg": events / uptime if uptime > 0 else 0.0,
+            "uptime_seconds": uptime,
+            "ring_dropped_events": int(
+                getattr(self.recorder, "dropped_events", 0)
+            ),
+            "sink_dropped_events": int(counters.get(TRACE_DROPPED_TOTAL, 0)),
+            "counters": counters,
+            "gauges": gauges,
+        }

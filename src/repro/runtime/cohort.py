@@ -240,9 +240,12 @@ class CohortExecutor(Executor):
             )
         results: list[ClientRoundResult] = []
         # Consecutive chunks of at most M; the tail chunk gets the remainder.
-        for start in range(0, len(jobs), self.cohort_size):
-            chunk = jobs[start : start + self.cohort_size]
-            results.extend(self._run_chunk(global_state, global_buffers, chunk))
+        with self._profiler.phase("client.train"):
+            for start in range(0, len(jobs), self.cohort_size):
+                chunk = jobs[start : start + self.cohort_size]
+                results.extend(
+                    self._run_chunk(global_state, global_buffers, chunk)
+                )
         self._mirror_metrics()
         return results
 

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from ..obs.profile import NULL_PROFILER
 from .round import ClientRoundResult, RoundContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,6 +46,10 @@ class Executor(ABC):
 
     #: Short engine name for CLI summaries and bench reports.
     name: str = "base"
+
+    #: Wall-clock phase profiler (no-op unless :meth:`set_profiler` swaps
+    #: in a live one). Class attribute so engines need no __init__ hook.
+    _profiler = NULL_PROFILER
 
     @abstractmethod
     def bind(self, clients: Sequence["SimClient"], strategy: "Strategy") -> None:
@@ -70,6 +75,15 @@ class Executor(ABC):
         counters) mirror them as recorder counters; the default engine has
         nothing to report. Counters never enter the JSONL event trace, so
         this hook cannot break trace determinism."""
+
+    def set_profiler(self, profiler) -> None:
+        """Attach a wall-clock :class:`~repro.obs.profile.PhaseProfiler`.
+
+        Engines time their client work (and transport sub-spans) through
+        it; the default is the shared no-op profiler. Wall-clock spans
+        never touch the event trace or the counters registry, so this hook
+        cannot break trace or resume determinism."""
+        self._profiler = profiler
 
     def ipc_stats(self) -> dict[str, float]:
         """Cumulative IPC metrics for benches; empty for in-process engines."""
@@ -122,10 +136,13 @@ class SerialExecutor(Executor):
         if self._clients is None or self._strategy is None:
             raise RuntimeError("executor not bound; construct it via FederatedSimulator")
         results: list[ClientRoundResult] = []
-        for cid, ctx in jobs:
-            client = self._clients[cid]
-            client.stage_buffers(global_buffers)
-            results.append(self._strategy.client_round(client, global_state, ctx))
+        with self._profiler.phase("client.train"):
+            for cid, ctx in jobs:
+                client = self._clients[cid]
+                client.stage_buffers(global_buffers)
+                results.append(
+                    self._strategy.client_round(client, global_state, ctx)
+                )
         return results
 
     def capture_run_state(self) -> dict:

@@ -223,12 +223,20 @@ class ParallelExecutor(Executor):
         if self._transport_impl is not None:
             self._transport_impl.set_recorder(recorder)
 
+    def set_profiler(self, profiler) -> None:
+        self._profiler = profiler
+        if self._transport_impl is not None:
+            self._transport_impl.set_profiler(profiler)
+        if self._fallback is not None:
+            self._fallback.set_profiler(profiler)
+
     def _degrade(self) -> None:
         """Route all remaining work through a serial engine on the parent
         replicas."""
         assert self._clients is not None and self._strategy is not None
         self._fallback = SerialExecutor()
         self._fallback.bind(self._clients, self._strategy)
+        self._fallback.set_profiler(self._profiler)
 
     # ------------------------------------------------------------------
     def _start(
@@ -261,6 +269,7 @@ class ParallelExecutor(Executor):
             self.transport = "pipe"
             transport = make_transport("pipe")
         transport.set_recorder(self._recorder)
+        transport.set_profiler(self._profiler)
         self._transport_impl = transport
         ctx = mp.get_context("fork")
         # All pipes are created before any fork so each child can close the
@@ -319,23 +328,29 @@ class ParallelExecutor(Executor):
         if not per_worker:
             return []
 
-        # Stage the broadcast once: one codec/memcpy pass regardless of
-        # client/worker count.
-        extra = transport.broadcast(global_state, global_buffers)
+        prof = self._profiler
+        with prof.phase("broadcast"):
+            # Stage the broadcast once: one codec/memcpy pass regardless of
+            # client/worker count (the transport times its own "pack"
+            # sub-span).
+            extra = transport.broadcast(global_state, global_buffers)
 
-        crashed = False
-        for w, wjobs in per_worker.items():
-            try:
-                sent = _send(self._conns[w], ("round", extra, wjobs))
-                transport.count_pipe("broadcast", sent)
-            except (BrokenPipeError, OSError):
-                crashed = True
+            crashed = False
+            for w, wjobs in per_worker.items():
+                try:
+                    sent = _send(self._conns[w], ("round", extra, wjobs))
+                    transport.count_pipe("broadcast", sent)
+                except (BrokenPipeError, OSError):
+                    crashed = True
 
         by_cid: dict[int, ClientRoundResult] = {}
         if not crashed:
             for w, wjobs in per_worker.items():
                 try:
-                    (tag, payload), received = _recv(self._conns[w])
+                    # The recv wait *is* the clients' training time from the
+                    # parent's point of view.
+                    with prof.phase("client.train"):
+                        (tag, payload), received = _recv(self._conns[w])
                 except (EOFError, OSError):
                     crashed = True
                     break
@@ -346,8 +361,9 @@ class ParallelExecutor(Executor):
                     raise RuntimeError(
                         f"client round failed in worker {w}:\n{payload}"
                     )
-                for result in transport.decode_results(w, payload):
-                    by_cid[result.client_id] = result
+                with prof.phase("collect"):
+                    for result in transport.decode_results(w, payload):
+                        by_cid[result.client_id] = result
 
         if crashed:
             warnings.warn(

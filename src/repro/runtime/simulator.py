@@ -17,6 +17,7 @@ import numpy as np
 from ..data import Dataset
 from ..nn import Module, accuracy
 from ..obs import NULL_RECORDER, Recorder
+from ..obs.profile import NULL_PROFILER, PhaseProfiler
 from ..sysmodel import DropoutModel, LinkModel, SpeedTrace, select_deadline
 from .aggregation import (
     aggregate_buffers,
@@ -83,6 +84,15 @@ class FederatedSimulator:
         A :class:`~repro.obs.TraceRecorder` captures round/client spans,
         FedCA decision events and run metrics keyed on simulated time;
         the trace is executor-independent.
+    profiler:
+        Optional :class:`~repro.obs.PhaseProfiler` measuring where the
+        *wall clock* goes each round (``select``, ``broadcast``,
+        ``client.train``, ``collect``, ``aggregate``, ``evaluate``,
+        ``telemetry``, ``checkpoint`` + transport sub-spans). Default is
+        the no-op :data:`~repro.obs.NULL_PROFILER`. Phase totals are
+        mirrored as ``repro_phase_seconds`` *gauges* each round; they
+        never enter the event trace or the counters registry, so
+        profiling cannot perturb determinism.
     """
 
     def __init__(
@@ -108,6 +118,7 @@ class FederatedSimulator:
         eval_batch: int = 512,
         executor: "Executor | str | None" = None,
         recorder: Recorder | None = None,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         if len(shards) != len(base_iteration_times):
             raise ValueError("need one base iteration time per client shard")
@@ -184,6 +195,9 @@ class FederatedSimulator:
         self.executor = resolve_executor(executor)
         self.executor.bind(self.clients, self.strategy)
         self.executor.set_recorder(self.recorder)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.profiler.set_executor_label(self.executor.name)
+        self.executor.set_profiler(self.profiler)
 
     # ------------------------------------------------------------------
     # Checkpoint/resume (see repro.persist — imported lazily so the
@@ -258,21 +272,26 @@ class FederatedSimulator:
     # ------------------------------------------------------------------
     def run_round(self) -> RoundRecord:
         """Execute one communication round and append it to the history."""
+        prof = self.profiler
+        prof.begin_round()
         round_index = self.history.num_rounds
-        selected = select_clients(
-            len(self.clients),
-            self.clients_per_round,
-            round_index=round_index,
-            seed=self.seed,
-        )
-        # FedBalancer-style compute deadline from current pace estimates.
-        est_compute = [
-            self.local_iterations * self.est_pace[cid] for cid in selected
-        ]
-        deadline = select_deadline(
-            est_compute, min_fraction=self.deadline_min_fraction
-        )
-        budgets = self.strategy.prepare_round(self, selected, deadline, round_index)
+        with prof.phase("select"):
+            selected = select_clients(
+                len(self.clients),
+                self.clients_per_round,
+                round_index=round_index,
+                seed=self.seed,
+            )
+            # FedBalancer-style compute deadline from current pace estimates.
+            est_compute = [
+                self.local_iterations * self.est_pace[cid] for cid in selected
+            ]
+            deadline = select_deadline(
+                est_compute, min_fraction=self.deadline_min_fraction
+            )
+            budgets = self.strategy.prepare_round(
+                self, selected, deadline, round_index
+            )
         rec = self.recorder
         tracing = rec.enabled
         if tracing:
@@ -300,7 +319,8 @@ class FederatedSimulator:
                 rec.counter("repro_dropped_clients_total")
         survivors = [cid for cid in selected if cid not in dropped]
         if not survivors:
-            acc = self.evaluate()
+            with prof.phase("evaluate"):
+                acc = self.evaluate()
             record = RoundRecord(
                 round_index=round_index,
                 start_time=self.time,
@@ -316,12 +336,14 @@ class FederatedSimulator:
             self.history.append(record)
             self.time = record.end_time
             if tracing:
-                rec.emit(
-                    "round.all_dropped",
-                    sim_time=record.start_time,
-                    round_index=round_index,
-                )
-                self._emit_round_end(record)
+                with prof.phase("telemetry"):
+                    rec.emit(
+                        "round.all_dropped",
+                        sim_time=record.start_time,
+                        round_index=round_index,
+                    )
+                    self._emit_round_end(record)
+                prof.mirror(rec)
             return record
 
         jobs = [
@@ -342,12 +364,16 @@ class FederatedSimulator:
             self.global_state, self.global_buffers, jobs
         )
 
-        collected, round_end = collect_earliest(results, self.aggregation_fraction)
-        update = aggregate_updates(collected)
-        self.global_state = apply_update(self.global_state, update)
-        new_buffers = aggregate_buffers(collected)
-        if new_buffers:
-            self.global_buffers = new_buffers
+        with prof.phase("collect"):
+            collected, round_end = collect_earliest(
+                results, self.aggregation_fraction
+            )
+        with prof.phase("aggregate"):
+            update = aggregate_updates(collected)
+            self.global_state = apply_update(self.global_state, update)
+            new_buffers = aggregate_buffers(collected)
+            if new_buffers:
+                self.global_buffers = new_buffers
 
         # Pace estimates refresh from every client that ran, collected or not.
         for r in results:
@@ -355,44 +381,46 @@ class FederatedSimulator:
             if pace is not None:
                 self.est_pace[r.client_id] = pace
 
-        acc = self.evaluate()
+        with prof.phase("evaluate"):
+            acc = self.evaluate()
         collected_ids = tuple(r.client_id for r in collected)
         if tracing:
-            # Results arrive in job order (sorted client ids) regardless of
-            # the executor, so merging here keeps the trace deterministic —
-            # the telemetry mirror of PR 1's bitwise-identical-history
-            # guarantee.
-            collected_set = set(collected_ids)
-            for r in results:
-                rec.merge_client_trace(round_index, r.client_id, r.trace)
-                rec.span(
-                    "client.round",
-                    sim_start=r.compute_start_time,
-                    sim_end=r.upload_finish_time,
-                    round_index=round_index,
-                    client_id=r.client_id,
-                    compute_start=r.compute_start_time,
-                    compute_finish=r.compute_finish_time,
-                    upload_finish=r.upload_finish_time,
-                    iterations_run=r.iterations_run,
-                    bytes_uploaded=r.bytes_uploaded,
-                    mean_loss=r.mean_loss,
-                    collected=r.client_id in collected_set,
-                )
-                rec.counter("repro_client_rounds_total")
-                rec.counter("repro_iterations_total", r.iterations_run)
-                rec.counter("repro_bytes_uploaded_total", r.bytes_uploaded)
-                ev = r.events
-                if ev.get("anchor"):
-                    rec.counter("repro_anchor_rounds_total")
-                if ev.get("early_stop_iteration") is not None:
-                    rec.counter("repro_early_stops_total")
-                eager = ev.get("eager")
-                if eager:
-                    rec.counter("repro_eager_transmits_total", len(eager))
-                retrans = ev.get("retransmitted")
-                if retrans:
-                    rec.counter("repro_retransmissions_total", len(retrans))
+            with prof.phase("telemetry"):
+                # Results arrive in job order (sorted client ids) regardless
+                # of the executor, so merging here keeps the trace
+                # deterministic — the telemetry mirror of PR 1's
+                # bitwise-identical-history guarantee.
+                collected_set = set(collected_ids)
+                for r in results:
+                    rec.merge_client_trace(round_index, r.client_id, r.trace)
+                    rec.span(
+                        "client.round",
+                        sim_start=r.compute_start_time,
+                        sim_end=r.upload_finish_time,
+                        round_index=round_index,
+                        client_id=r.client_id,
+                        compute_start=r.compute_start_time,
+                        compute_finish=r.compute_finish_time,
+                        upload_finish=r.upload_finish_time,
+                        iterations_run=r.iterations_run,
+                        bytes_uploaded=r.bytes_uploaded,
+                        mean_loss=r.mean_loss,
+                        collected=r.client_id in collected_set,
+                    )
+                    rec.counter("repro_client_rounds_total")
+                    rec.counter("repro_iterations_total", r.iterations_run)
+                    rec.counter("repro_bytes_uploaded_total", r.bytes_uploaded)
+                    ev = r.events
+                    if ev.get("anchor"):
+                        rec.counter("repro_anchor_rounds_total")
+                    if ev.get("early_stop_iteration") is not None:
+                        rec.counter("repro_early_stops_total")
+                    eager = ev.get("eager")
+                    if eager:
+                        rec.counter("repro_eager_transmits_total", len(eager))
+                    retrans = ev.get("retransmitted")
+                    if retrans:
+                        rec.counter("repro_retransmissions_total", len(retrans))
         record = RoundRecord(
             round_index=round_index,
             start_time=self.time,
@@ -411,7 +439,10 @@ class FederatedSimulator:
         self.history.append(record)
         self.time = round_end
         if tracing:
-            self._emit_round_end(record)
+            with prof.phase("telemetry"):
+                self._emit_round_end(record)
+            # Publish cumulative phase gauges once the round's spans closed.
+            prof.mirror(rec)
         return record
 
     # ------------------------------------------------------------------
@@ -443,13 +474,26 @@ class FederatedSimulator:
         progress: Callable[[RoundRecord], None] | None = None,
     ) -> RunHistory:
         """Run up to ``num_rounds`` rounds, stopping early if
-        ``target_accuracy`` is reached."""
+        ``target_accuracy`` is reached.
+
+        Crash safety: the loop always flushes the recorder's sink and
+        closes the profiler's open round lap in a ``finally`` — so the
+        trace streamed so far survives a mid-round exception (the recorder
+        additionally closes its sink via ``atexit``; see
+        :class:`~repro.obs.TraceRecorder`)."""
         if num_rounds < 1:
             raise ValueError("num_rounds must be >= 1")
-        for _ in range(num_rounds):
-            record = self.run_round()
-            if progress is not None:
-                progress(record)
-            if target_accuracy is not None and record.accuracy >= target_accuracy:
-                break
+        try:
+            for _ in range(num_rounds):
+                record = self.run_round()
+                if progress is not None:
+                    progress(record)
+                if (
+                    target_accuracy is not None
+                    and record.accuracy >= target_accuracy
+                ):
+                    break
+        finally:
+            self.profiler.finish()
+            self.recorder.flush()
         return self.history

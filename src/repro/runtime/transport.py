@@ -66,6 +66,7 @@ from ..nn.serialize import (
     state_to_bytes,
     unpack_state,
 )
+from ..obs.profile import NULL_PROFILER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs import Recorder
@@ -184,11 +185,18 @@ class Transport:
     def __init__(self) -> None:
         self.stats: dict[str, float] = {}
         self._recorder: "Recorder | None" = None
+        self._profiler = NULL_PROFILER
         self._worker_index: int | None = None
 
     # -- accounting ----------------------------------------------------
     def set_recorder(self, recorder: "Recorder | None") -> None:
         self._recorder = recorder if recorder is not None and recorder.enabled else None
+
+    def set_profiler(self, profiler) -> None:
+        """Attach the parent's phase profiler (transports time their
+        broadcast ``pack`` as a sub-span under the executor's
+        ``broadcast`` phase)."""
+        self._profiler = profiler
 
     def count(self, name: str, inc: float, *, mirror: bool = True) -> None:
         """Accumulate into ``stats``; ``mirror=True`` also bumps the
@@ -251,6 +259,7 @@ class Transport:
         """Called first thing inside the forked worker."""
         self._worker_index = worker
         self._recorder = None  # the parent's recorder must not be touched
+        self._profiler = NULL_PROFILER  # ditto for the parent's profiler
 
     def read_broadcast(
         self, extra: Any
@@ -281,7 +290,11 @@ class PipeTransport(Transport):
 
     def broadcast(self, state, buffers):
         t0 = time.perf_counter()
-        extra = (state_to_bytes(state), state_to_bytes(buffers) if buffers else None)
+        with self._profiler.phase("pack"):
+            extra = (
+                state_to_bytes(state),
+                state_to_bytes(buffers) if buffers else None,
+            )
         self.add_broadcast_seconds(time.perf_counter() - t0)
         return extra
 
@@ -389,17 +402,18 @@ class ShmTransport(Transport):
     def broadcast(self, state, buffers):
         assert self._broadcast is not None, "setup() must run before broadcast()"
         t0 = time.perf_counter()
-        self._generation += 1
-        state_off = _ARENA_DATA_OFFSET
-        nbytes = pack_state(self._broadcast.buf, state, state_off)
-        buffers_off = None
-        total = nbytes
-        if buffers:
-            buffers_off = state_off + nbytes
-            total += pack_state(self._broadcast.buf, buffers, buffers_off)
-        _SHM_HEADER.pack_into(
-            self._broadcast.buf, 0, _SHM_MAGIC, _SHM_VERSION, 0, self._generation
-        )
+        with self._profiler.phase("pack"):
+            self._generation += 1
+            state_off = _ARENA_DATA_OFFSET
+            nbytes = pack_state(self._broadcast.buf, state, state_off)
+            buffers_off = None
+            total = nbytes
+            if buffers:
+                buffers_off = state_off + nbytes
+                total += pack_state(self._broadcast.buf, buffers, buffers_off)
+            _SHM_HEADER.pack_into(
+                self._broadcast.buf, 0, _SHM_MAGIC, _SHM_VERSION, 0, self._generation
+            )
         self.add_broadcast_seconds(time.perf_counter() - t0)
         self.count(ipc_bytes_counter("shm", "broadcast"), total)
         return (self._generation, state_off, buffers_off)
