@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 
 from .experiments import (
@@ -92,7 +93,19 @@ _SINGLE_MODEL_ARTIFACTS = {"fig1", "fig4", "fig6", "fig8", "fig10"}
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", default="micro", choices=["micro", "small", "paper"])
     parser.add_argument("--seed", type=int, default=0)
+    _add_sanitize(parser)
     _add_log_level(parser)
+
+
+def _add_sanitize(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the runtime determinism sanitizer (repro.lint.sanitize): "
+             "trap legacy np.random global-state calls, record unexpected "
+             "live threads at fork, track shm create/unlink pairing, and "
+             "validate metric registry discipline; passive — a sanitized "
+             "run's history and trace are byte-identical "
+             "(also enabled by REPRO_SANITIZE=1)")
 
 
 def _add_log_level(parser: argparse.ArgumentParser) -> None:
@@ -324,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ovh = sub.add_parser("overhead", help="§5.5 profiling-memory accounting")
     p_ovh.add_argument("--paper-arch", action="store_true")
     p_ovh.add_argument("--iterations", type=int, default=125)
+    _add_sanitize(p_ovh)
     _add_log_level(p_ovh)
 
     return parser
@@ -453,6 +467,13 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     configure_logging(getattr(args, "log_level", "info"))
+    if getattr(args, "sanitize", False) or os.environ.get(
+        "REPRO_SANITIZE", ""
+    ).lower() in ("1", "true", "yes", "on"):
+        from .lint import sanitize
+
+        sanitize.enable()
+        logger.info("runtime determinism sanitizer enabled")
     handlers = {
         "run": cmd_run,
         "compare": cmd_compare,

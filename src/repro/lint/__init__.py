@@ -1,0 +1,54 @@
+"""``repro.lint`` — static invariant checker + runtime sanitizer.
+
+The determinism guarantees every PR so far is pinned on (bitwise
+histories and traces across serial/parallel/cohort engines, crash-safe
+resume, leak-free shm arenas) rest on a handful of coding invariants.
+This package enforces them mechanically:
+
+* **Static pass** (``python -m repro.lint src/ tests/ benchmarks/`` or
+  the ``repro-lint`` console script): an AST-based checker registry —
+
+  ======= ==========================================================
+  DET001  no global-state RNG; seeded ``np.random.Generator`` only
+  DET002  wall-clock reads only in the measurement allowlist
+  DET003  no raw iteration over unordered sets
+  MET001  counters end ``_total`` and are pre-registered
+  MET002  wall-clock mirrors are gauges, never counters
+  FORK001 pre-fork thread/lock discipline
+  SHM001  shm create/close/unlink/atexit pairing
+  EVT001  event kinds declared in ``obs/events.py``
+  ======= ==========================================================
+
+  Per-line escape hatch: ``# reprolint: allow[CODE] justification``.
+
+* **Runtime sanitizer** (:mod:`repro.lint.sanitize`, enabled by the CLI
+  ``--sanitize`` flag or ``REPRO_SANITIZE=1``): traps legacy
+  ``np.random`` use, checks thread hygiene at fork, tracks shm
+  create/unlink pairing, and validates every metrics-registry write —
+  without changing a single byte of the run's history or trace.
+"""
+
+from .core import (
+    Checker,
+    FileContext,
+    LintResult,
+    all_checkers,
+    checker_codes,
+    lint_file,
+    lint_paths,
+    register,
+)
+from .findings import Finding, Severity
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Severity",
+    "all_checkers",
+    "checker_codes",
+    "lint_file",
+    "lint_paths",
+    "register",
+]

@@ -1,0 +1,163 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
+
+Usage::
+
+    repro-lint src/ tests/ benchmarks/
+    repro-lint --severity error src/
+    repro-lint --select DET001,DET002 src/repro/runtime/
+    repro-lint --format json src/ > findings.json
+    repro-lint --list-checkers
+
+Exit codes: 0 — clean at the reporting floor; 1 — findings at or above
+the floor; 2 — usage error (bad path, unknown code/severity).
+
+Findings print one per line in the fixed format
+``path:line:col: SEVERITY CODE message`` followed by a one-line
+summary; ``--format json`` emits a single JSON document instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .core import all_checkers, lint_paths
+from .findings import Severity
+
+#: scanned by default when invoked with no paths from a repo root.
+_DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the repro runtime: seeded-RNG "
+            "and sim-clock discipline, metrics/event registries, pre-fork "
+            "thread rules, shared-memory pairing. See DESIGN.md §14."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: src tests benchmarks, "
+        "whichever exist under the current directory)",
+    )
+    parser.add_argument(
+        "--severity",
+        default="warning",
+        metavar="LEVEL",
+        help="reporting floor: info, warning (default) or error; findings "
+        "below the floor are counted but not reported and never fail the run",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated checker codes to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="CODES",
+        help="comma-separated checker codes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=("text", "json"),
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--no-summary",
+        action="store_true",
+        help="suppress the trailing summary line (text format only)",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="print every registered checker and exit",
+    )
+    return parser
+
+
+def _parse_codes(raw: str | None) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    return frozenset(c.strip() for c in raw.split(",") if c.strip())
+
+
+def _default_paths() -> list[Path]:
+    existing = [Path(p) for p in _DEFAULT_PATHS if Path(p).is_dir()]
+    return existing or [Path(".")]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_checkers:
+        for code, cls in all_checkers().items():
+            print(f"{code}  [{cls.severity.name.lower():7s}]  {cls.name}")
+        print(
+            "LNT001  [warning]  malformed/unknown/unjustified reprolint pragma"
+        )
+        print("LNT002  [error  ]  file does not parse")
+        print("LNT003  [warning]  pragma suppresses nothing on its line")
+        return 0
+
+    try:
+        floor = Severity.parse(args.severity)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths] or _default_paths()
+    try:
+        result = lint_paths(
+            paths,
+            select=_parse_codes(args.select),
+            ignore=_parse_codes(args.ignore),
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    reported = result.worst_at_or_above(floor)
+
+    if args.fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.as_dict() for f in reported],
+                    "files_scanned": result.files_scanned,
+                    "suppressed": result.suppressed,
+                    "below_floor": len(result.findings) - len(reported),
+                },
+                indent=2,
+            )
+        )
+        return 1 if reported else 0
+
+    for finding in reported:
+        print(finding.render())
+    if not args.no_summary:
+        counts = ", ".join(
+            f"{result.count(sev)} {sev.name.lower()}"
+            for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        )
+        below = len(result.findings) - len(reported)
+        print(
+            f"repro-lint: {len(reported)} finding(s) at >= {floor.name.lower()} "
+            f"({counts}) across {result.files_scanned} file(s); "
+            f"{result.suppressed} suppressed by pragma"
+            + (f"; {below} below the reporting floor" if below else "")
+        )
+    return 1 if reported else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

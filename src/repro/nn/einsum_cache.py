@@ -30,7 +30,7 @@ __all__ = ["einsum_path_for", "planned_einsum", "path_cache_info", "clear_path_c
 #: shipped workloads at several batch sizes.
 _MAX_PLANS = 64
 
-_lock = Lock()
+_lock = Lock()  # reprolint: allow[FORK001] held only for O(us) dict ops on the calling thread; the pool-forking thread never holds it, so children can never inherit it locked
 _plans: "OrderedDict[tuple, list]" = OrderedDict()
 _hits = 0
 _misses = 0

@@ -34,6 +34,7 @@ from .export import (
     write_trace_jsonl,
 )
 from .logsetup import LOG_LEVELS, configure_logging
+from .metrics import KNOWN_COUNTERS, KNOWN_GAUGES, metric_base_name
 from .profile import (
     NULL_PROFILER,
     PHASE_SECONDS,
@@ -88,4 +89,7 @@ __all__ = [
     "TruncatedTraceError",
     "configure_logging",
     "LOG_LEVELS",
+    "KNOWN_COUNTERS",
+    "KNOWN_GAUGES",
+    "metric_base_name",
 ]

@@ -224,7 +224,10 @@ class TraceRecorder(Recorder):
             round_index=round_index,
             client_id=client_id,
             fields=fields,
-            wall_time=time.monotonic() if self.wall_clock else None,
+            # Opt-in wall stamps live in a separate field the deterministic
+            # byte stream drops (TraceEvent.as_dict); they never touch
+            # simulated time.
+            wall_time=time.monotonic() if self.wall_clock else None,  # reprolint: allow[DET002] opt-in wall_clock stamp, dropped from the deterministic stream
         )
         self._seq += 1
         if len(self._ring) == self.capacity:

@@ -110,7 +110,7 @@ class MetricsServer:
         self.host = host
         self.port = int(self._httpd.server_address[1])
         self._thread: threading.Thread | None = None
-        self._started_at = time.monotonic()
+        self._started_at = time.monotonic()  # reprolint: allow[DET002] read-only uptime display on /status; never feeds the run
         self._last_sample = (self._started_at, self._num_events())
         self._closed = False
 
@@ -155,7 +155,7 @@ class MetricsServer:
 
     def status(self) -> dict:
         """The JSON run-status document served at ``/status``."""
-        now = time.monotonic()
+        now = time.monotonic()  # reprolint: allow[DET002] events/sec window for /status; read-only, off the run path
         events = self._num_events()
         last_t, last_n = self._last_sample
         self._last_sample = (now, events)
