@@ -1,0 +1,244 @@
+"""Scale benchmark: eager vs lazy client populations (repro.scale).
+
+Two measurements, written to ``BENCH_scale.json``:
+
+* **A/B** at a moderate population (default 2000 clients, ~1 %
+  participation): the same run under ``--population eager`` and
+  ``--population lazy``, asserting the history SHA-256 digests are
+  identical (the lazy path's bitwise oracle) and recording setup time,
+  per-round time and peak RSS for both.
+* **Large** lazy-only run (default 100 000 clients, 0.1 % participation):
+  demonstrates flat memory — peak RSS is gated by ``--rss-ceiling-mb``
+  (CI pins a ceiling far below what an eager population of that size
+  would need).
+
+Each measurement runs in a **child process** (``--phase`` mode) that
+reports its own ``ru_maxrss``: peak RSS is a high-watermark per process,
+so phases measured in one process would contaminate each other.
+
+The workload is deliberately tiny (8×8 mono images, a 2-channel LeNet,
+16-sample shards from a fixed pool via :class:`SubsampledShards`, per-cid
+pace from :func:`iteration_time_for`) — the bench measures the *population
+machinery*, not SGD throughput.
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/scale_bench.py --out BENCH_scale.json
+
+The million-client acceptance run (1 % participation)::
+
+    PYTHONPATH=src python benchmarks/scale_bench.py --ab-clients 0 \
+        --large-clients 1000000 --large-participation 0.01 \
+        --rounds 1 --rss-ceiling-mb 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.algorithms import build_strategy  # noqa: E402
+from repro.algorithms.base import OptimizerSpec  # noqa: E402
+from repro.data import make_image_dataset  # noqa: E402
+from repro.nn import LeNetCNN  # noqa: E402
+from repro.runtime import FederatedSimulator  # noqa: E402
+from repro.runtime.export import history_to_json  # noqa: E402
+from repro.scale import SubsampledShards  # noqa: E402
+from repro.sysmodel import iteration_time_for  # noqa: E402
+
+POOL_SAMPLES = 2048
+TEST_SAMPLES = 128
+SHARD_SIZE = 16
+NUM_CLASSES = 4
+
+
+def peak_rss_bytes() -> int:
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def model_fn():
+    return LeNetCNN(
+        in_channels=1,
+        image_size=8,
+        num_classes=NUM_CLASSES,
+        conv_channels=(2, 2),
+        fc_sizes=(8, 8),
+        rng=np.random.default_rng(7),
+    )
+
+
+def build_sim(num_clients: int, clients_per_round: int, population: str | None):
+    pool = make_image_dataset(
+        num_samples=POOL_SAMPLES, num_classes=NUM_CLASSES, channels=1,
+        image_size=8, seed=5,
+    )
+    test = make_image_dataset(
+        num_samples=TEST_SAMPLES, num_classes=NUM_CLASSES, channels=1,
+        image_size=8, seed=6,
+    )
+    return FederatedSimulator(
+        model_fn=model_fn,
+        strategy=build_strategy(
+            "fedavg", OptimizerSpec(lr=0.05, weight_decay=0.0)
+        ),
+        shards=SubsampledShards(pool, num_clients, SHARD_SIZE, alpha=0.5, seed=9),
+        test_set=test,
+        base_iteration_times=lambda cid: iteration_time_for(cid, 0.01, seed=0),
+        batch_size=8,
+        local_iterations=4,
+        aggregation_fraction=0.8,
+        clients_per_round=clients_per_round,
+        seed=1,
+        population=population,
+    )
+
+
+def run_phase(args) -> dict:
+    """Child-process body: one measured run, JSON report on stdout."""
+    t0 = time.perf_counter()  # reprolint: allow[DET002] benchmark measures wall-clock by design
+    sim = build_sim(args.clients, args.clients_per_round, args.population)
+    setup_seconds = time.perf_counter() - t0  # reprolint: allow[DET002] benchmark measures wall-clock by design
+    try:
+        t1 = time.perf_counter()  # reprolint: allow[DET002] benchmark measures wall-clock by design
+        history = sim.run(args.rounds)
+        run_seconds = time.perf_counter() - t1  # reprolint: allow[DET002] benchmark measures wall-clock by design
+        digest = hashlib.sha256(
+            history_to_json(history).encode()
+        ).hexdigest()
+        resident = (
+            len(sim.population.cache) if sim.population is not None else None
+        )
+    finally:
+        sim.close()
+    return {
+        "population": args.population or "eager",
+        "clients": args.clients,
+        "clients_per_round": args.clients_per_round,
+        "rounds": args.rounds,
+        "setup_seconds": setup_seconds,
+        "run_seconds": run_seconds,
+        "seconds_per_round": run_seconds / args.rounds,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "resident_clients": resident,
+        "history_sha256": digest,
+    }
+
+
+def spawn_phase(
+    clients: int, clients_per_round: int, rounds: int, population: str | None
+) -> dict:
+    """Run one measurement in a fresh process so ru_maxrss is per-phase."""
+    cmd = [
+        sys.executable, str(Path(__file__).resolve()), "--phase",
+        "--clients", str(clients),
+        "--clients-per-round", str(clients_per_round),
+        "--rounds", str(rounds),
+    ]
+    if population:
+        cmd += ["--population", population]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"phase {population or 'eager'}/{clients} failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--phase", action="store_true",
+                        help="internal: run one measured phase and print JSON")
+    parser.add_argument("--population", default=None,
+                        help="population spec for --phase (default eager)")
+    parser.add_argument("--clients", type=int, default=2000,
+                        help="population size for --phase")
+    parser.add_argument("--clients-per-round", type=int, default=20,
+                        help="selected clients per round for --phase")
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--ab-clients", type=int, default=2000,
+                        help="population size for the eager-vs-lazy A/B "
+                             "(0 skips the A/B)")
+    parser.add_argument("--ab-participation", type=float, default=0.01)
+    parser.add_argument("--large-clients", type=int, default=100_000,
+                        help="population size for the lazy-only large run "
+                             "(0 skips it)")
+    parser.add_argument("--large-participation", type=float, default=0.001)
+    parser.add_argument("--rss-ceiling-mb", type=float, default=None,
+                        help="fail if the large lazy run's peak RSS exceeds "
+                             "this many MiB")
+    parser.add_argument("--out", default="BENCH_scale.json")
+    args = parser.parse_args()
+
+    if args.phase:
+        print(json.dumps(run_phase(args)))
+        return 0
+
+    report: dict = {"workload": {
+        "pool_samples": POOL_SAMPLES, "shard_size": SHARD_SIZE,
+        "num_classes": NUM_CLASSES, "local_iterations": 4, "rounds": args.rounds,
+    }}
+    failures = []
+
+    if args.ab_clients:
+        per_round = max(1, round(args.ab_clients * args.ab_participation))
+        eager = spawn_phase(args.ab_clients, per_round, args.rounds, None)
+        lazy = spawn_phase(args.ab_clients, per_round, args.rounds, "lazy")
+        report["ab"] = {"eager": eager, "lazy": lazy}
+        if eager["history_sha256"] != lazy["history_sha256"]:
+            failures.append(
+                "A/B history digests differ: lazy is not bitwise-identical "
+                f"to eager ({lazy['history_sha256']} != {eager['history_sha256']})"
+            )
+        print(f"A/B @ {args.ab_clients} clients, {per_round}/round:")
+        for row in (eager, lazy):
+            print(
+                f"  {row['population']:>5}: setup {row['setup_seconds']:.2f}s, "
+                f"{row['seconds_per_round']:.2f}s/round, "
+                f"peak RSS {row['peak_rss_bytes'] / 2**20:.1f} MiB"
+            )
+        print(f"  histories identical: "
+              f"{eager['history_sha256'] == lazy['history_sha256']}")
+
+    if args.large_clients:
+        per_round = max(1, round(args.large_clients * args.large_participation))
+        large = spawn_phase(args.large_clients, per_round, args.rounds, "lazy")
+        report["large"] = large
+        rss_mib = large["peak_rss_bytes"] / 2**20
+        print(
+            f"large lazy @ {args.large_clients} clients, {per_round}/round: "
+            f"setup {large['setup_seconds']:.2f}s, "
+            f"{large['seconds_per_round']:.2f}s/round, "
+            f"peak RSS {rss_mib:.1f} MiB"
+        )
+        if args.rss_ceiling_mb is not None:
+            report["rss_ceiling_mb"] = args.rss_ceiling_mb
+            if rss_mib > args.rss_ceiling_mb:
+                failures.append(
+                    f"large lazy run peak RSS {rss_mib:.1f} MiB exceeds the "
+                    f"{args.rss_ceiling_mb:.1f} MiB ceiling"
+                )
+            else:
+                print(f"  RSS gate: {rss_mib:.1f} <= {args.rss_ceiling_mb:.1f} "
+                      "MiB ceiling")
+
+    report["failures"] = failures
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

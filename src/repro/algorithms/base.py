@@ -123,6 +123,18 @@ class Strategy(ABC):
     def restore_client_states(self, states: dict[int, dict]) -> None:
         """Inverse of :meth:`capture_client_states` (default: no-op)."""
 
+    def release_client_states(self, client_ids: list[int]) -> None:
+        """Drop any per-client caches for ``client_ids`` (default: no-op).
+
+        Paging hook for the lazy population (see :mod:`repro.scale`): when a
+        client is evicted from the resident cache, the cache first calls
+        :meth:`capture_client_states` for the ids, then this, so the
+        strategy's memory footprint also stays bounded by the resident set.
+        A later :meth:`restore_client_states` with the captured snapshot
+        must leave the strategy exactly as if the release never happened
+        (capture-before-release contract).
+        """
+
     # ------------------------------------------------------------------
     @staticmethod
     def _finish_upload(

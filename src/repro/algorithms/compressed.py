@@ -68,6 +68,14 @@ class CompressedFedAvg(FedAvg):
         for cid, snapshot in states.items():
             self._codec_for(int(cid)).restore_state(snapshot)
 
+    def release_client_states(self, client_ids: list[int]) -> None:
+        """Evict per-client codecs (lazy-population paging). Codec state —
+        residuals, RNG positions — evolves across rounds, so the cache
+        captures it first; a rehydrated codec is rebuilt by ``_codec_for``
+        and restored from that snapshot."""
+        for cid in client_ids:
+            self._codecs.pop(cid, None)
+
 
 def fedavg_quantized(optimizer: OptimizerSpec, *, bits: int = 8) -> CompressedFedAvg:
     """FedAvg + QSGD quantization (paper ref. [4])."""

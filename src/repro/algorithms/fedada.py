@@ -81,7 +81,10 @@ class FedAda(FedAvg):
         """Assign per-client iteration budgets from the server's estimates."""
         return {
             cid: fedada_budget(
-                sim.local_iterations, sim.est_pace[cid], deadline, self.tradeoff
+                sim.local_iterations,
+                sim.pace_estimate(cid),
+                deadline,
+                self.tradeoff,
             )
             for cid in selected
         }

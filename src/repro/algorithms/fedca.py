@@ -114,6 +114,15 @@ class FedCA(Strategy):
                 model_curve=np.asarray(payload["model_curve"], dtype=np.float64),
             )
 
+    def release_client_states(self, client_ids: list[int]) -> None:
+        """Evict per-client caches (lazy-population paging). Curves are
+        captured beforehand per the contract; samplers draw their indices
+        once at construction from ``sampler_seed + cid``, so a rebuilt
+        sampler is identical and they need no snapshot at all."""
+        for cid in client_ids:
+            self._curves.pop(cid, None)
+            self._samplers.pop(cid, None)
+
     # ------------------------------------------------------------------
     def client_round(
         self,

@@ -265,6 +265,22 @@ def _executor_spec(args: argparse.Namespace) -> str:
     return args.executor
 
 
+def _add_population(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--population", default="eager", metavar="SPEC",
+        help="client materialisation: 'eager' (default) builds every client "
+             "up front; 'lazy' or 'lazy:cache=N' pages clients through a "
+             "bounded LRU of N live objects, reconstructing each from "
+             "(seed, cid) — byte-identical histories/traces, peak memory "
+             "flat in total-client count (see repro.scale)")
+    parser.add_argument(
+        "--spill-client-events", action="store_true",
+        help="drop per-client event dicts from the in-RAM history after "
+             "each round (they still stream to --trace-file), bounding run "
+             "memory on long runs; the exported history JSON then has empty "
+             "client_events, so these runs bypass --cache-dir")
+
+
 def _add_persistence(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--checkpoint-dir", metavar="DIR", default=None,
@@ -313,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the full round history as JSON")
     _add_common(p_run)
     _add_executor(p_run)
+    _add_population(p_run)
     _add_telemetry(p_run)
     _add_persistence(p_run)
     _add_cache(p_run)
@@ -324,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--rounds", type=int, default=None)
     _add_common(p_cmp)
     _add_executor(p_cmp)
+    _add_population(p_cmp)
     _add_telemetry(p_cmp)
     _add_cache(p_cmp)
 
@@ -366,6 +384,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                 stop_at_target=not args.no_target_stop,
                 seed=args.seed,
                 executor=_executor_spec(args),
+                population=args.population,
+                spill_client_events=args.spill_client_events,
                 recorder=recorder,
                 profiler=profiler,
                 cache=_make_cache(args),
@@ -405,8 +425,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     try:
         results = compare_schemes(
             cfg, args.schemes, rounds=args.rounds, seed=args.seed,
-            executor=_executor_spec(args), recorder=recorder,
-            profiler=profiler, cache=_make_cache(args),
+            executor=_executor_spec(args), population=args.population,
+            spill_client_events=args.spill_client_events,
+            recorder=recorder, profiler=profiler, cache=_make_cache(args),
         )
         rows = []
         for res in results:

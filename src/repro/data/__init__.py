@@ -2,7 +2,12 @@
 
 from .datasets import WORKLOAD_NAMES, make_workload_data, train_test_split
 from .loader import BatchStream
-from .partition import dirichlet_partition, iid_partition
+from .partition import (
+    dirichlet_client_indices,
+    dirichlet_partition,
+    dirichlet_shard_sizes,
+    iid_partition,
+)
 from .synthetic import Dataset, make_image_dataset, make_sequence_dataset
 
 __all__ = [
@@ -10,6 +15,8 @@ __all__ = [
     "make_image_dataset",
     "make_sequence_dataset",
     "dirichlet_partition",
+    "dirichlet_client_indices",
+    "dirichlet_shard_sizes",
     "iid_partition",
     "BatchStream",
     "train_test_split",

@@ -244,6 +244,8 @@ def make_environment(
     seed: int = 0,
     dynamic: bool = True,
     executor=None,
+    population: str | None = None,
+    spill_client_events: bool = False,
     recorder=None,
     profiler=None,
 ):
@@ -251,6 +253,10 @@ def make_environment(
 
     ``executor`` selects the client-execution engine (``None``/``"serial"``,
     ``"parallel[:N]"``, or an :class:`~repro.runtime.Executor` instance);
+    ``population`` the client-materialisation policy (``"eager"`` default,
+    ``"lazy[:cache=N]"`` for the bounded-memory pager — see
+    :mod:`repro.scale`); ``spill_client_events`` drops per-client event
+    dicts from the in-RAM history (they still stream to the trace sink);
     ``recorder`` an optional :class:`~repro.obs.Recorder` telemetry sink;
     ``profiler`` an optional :class:`~repro.obs.PhaseProfiler` for
     wall-clock phase breakdowns.
@@ -274,6 +280,8 @@ def make_environment(
         gamma_slow=cfg.gamma_slow,
         seed=seed,
         executor=executor,
+        population=population,
+        spill_client_events=spill_client_events,
         recorder=recorder,
         profiler=profiler,
     )

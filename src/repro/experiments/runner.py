@@ -57,6 +57,8 @@ def run_scheme(
     dynamic: bool = True,
     fedca_config: FedCAConfig | None = None,
     executor=None,
+    population: str | None = None,
+    spill_client_events: bool = False,
     recorder=None,
     profiler=None,
     cache: "ResultCache | None" = None,
@@ -98,6 +100,12 @@ def run_scheme(
         raise ValueError("resume=True requires checkpoint_dir")
     if checkpoint_every is not None and checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
+    if spill_client_events:
+        # A spilled history exports with empty client_events, so it must
+        # neither be served from nor written into the result cache — the
+        # cache key has no population/spill axis by design (the simulated
+        # run is identical; only what RAM retains differs).
+        cache = None
 
     # Resolve effective values BEFORE cache keying, so explicit defaults
     # and implied defaults land in the same cell.
@@ -144,6 +152,7 @@ def run_scheme(
         # naively ("w") would truncate the first half of the stream.
         sim = make_environment(
             cfg, strategy, seed=seed, dynamic=dynamic, executor=executor,
+            population=population, spill_client_events=spill_client_events,
             recorder=None, profiler=profiler,
         )
         ckpt = sim.resume(ckpt_path)
@@ -168,6 +177,7 @@ def run_scheme(
             )
         sim = make_environment(
             cfg, strategy, seed=seed, dynamic=dynamic, executor=executor,
+            population=population, spill_client_events=spill_client_events,
             recorder=recorder, profiler=profiler,
         )
 
@@ -234,6 +244,8 @@ def compare_schemes(
     dynamic: bool = True,
     fedca_config: FedCAConfig | None = None,
     executor=None,
+    population: str | None = None,
+    spill_client_events: bool = False,
     recorder=None,
     profiler=None,
     cache: "ResultCache | None" = None,
@@ -252,6 +264,8 @@ def compare_schemes(
             dynamic=dynamic,
             fedca_config=fedca_config,
             executor=executor,
+            population=population,
+            spill_client_events=spill_client_events,
             recorder=recorder,
             profiler=profiler,
             cache=cache,

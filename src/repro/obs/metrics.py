@@ -48,6 +48,12 @@ KNOWN_COUNTERS: frozenset[str] = frozenset(
         # cohort executor
         "repro_cohort_steps_total",
         "repro_cohort_member_steps_total",
+        # lazy population paging (repro.scale): cache evictions and
+        # snapshot-backed rehydrations. Deterministic per engine but
+        # engine-dependent (each parallel worker pages its own cache) and
+        # not checkpointed — never compared by the resume oracle.
+        "repro_population_evictions_total",
+        "repro_population_rehydrations_total",
         # IPC transports (labelled: {transport=...,direction=...})
         "repro_ipc_bytes_total",
     }
@@ -60,6 +66,10 @@ KNOWN_GAUGES: frozenset[str] = frozenset(
         "repro_round_accuracy",
         "repro_round_mean_loss",
         "repro_cohort_size",
+        # lazy population paging: live clients in the resident cache, and
+        # the process peak RSS (an OS measurement, hence a gauge).
+        "repro_resident_clients",
+        "repro_population_rss_bytes",
         # wall-clock mirrors — gauges by decree (resume oracle)
         "repro_ipc_broadcast_seconds",
         "repro_phase_seconds",

@@ -152,9 +152,20 @@ class RunCheckpoint:
         sim.global_buffers = _copy_arrays(self.global_buffers)
         sim.time = float(self.sim_time)
         sim.est_pace = {int(cid): float(p) for cid, p in self.est_pace.items()}
+        retain_client_events = sim.history.retain_client_events
         sim.history = history_from_dict(self.history)
-        for cid, snapshot in self.clients.items():
-            sim.clients[int(cid)].restore_state(snapshot)
+        # history_from_dict builds a default-config history; the spill
+        # setting is simulator configuration, not checkpointed state.
+        sim.history.retain_client_events = retain_client_events
+        population = getattr(sim, "population", None)
+        if population is not None:
+            # Lazy population: stage snapshots without materialising the
+            # clients; each is applied when (and if) its client pages in.
+            for cid, snapshot in self.clients.items():
+                population.restore_client_state(int(cid), snapshot)
+        else:
+            for cid, snapshot in self.clients.items():
+                sim.clients[int(cid)].restore_state(snapshot)
         if self.strategy_states:
             sim.strategy.restore_client_states(
                 {int(cid): snap for cid, snap in self.strategy_states.items()}

@@ -292,6 +292,13 @@ class CohortExecutor(Executor):
         self._mirrored_member_steps = self._member_steps
 
     # ------------------------------------------------------------------
+    def min_resident_clients(self) -> int:
+        """A full chunk of M clients is live during each batched program, so
+        a lazy population must keep at least M residents (see
+        :meth:`Executor.min_resident_clients`)."""
+        return self.cohort_size
+
+    # ------------------------------------------------------------------
     def occupancy(self) -> dict[str, float]:
         """Realized cohort occupancy for benches: fraction of member slots
         live across all batched steps (1.0 = no masking ever happened)."""
@@ -308,6 +315,10 @@ class CohortExecutor(Executor):
             raise RuntimeError(
                 "executor not bound; construct it via FederatedSimulator"
             )
+        if hasattr(self._clients, "capture_run_state"):
+            # Lazy population: snapshot only the clients that have diverged
+            # from their deterministic initial state.
+            return self._clients.capture_run_state(self._strategy)
         client_ids = [c.client_id for c in self._clients]
         return {
             "clients": {c.client_id: c.capture_state() for c in self._clients},

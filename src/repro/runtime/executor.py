@@ -89,6 +89,16 @@ class Executor(ABC):
         """Cumulative IPC metrics for benches; empty for in-process engines."""
         return {}
 
+    def min_resident_clients(self) -> int:
+        """Largest number of clients the engine holds live at one moment.
+
+        A lazy population (see :mod:`repro.scale`) sizes its resident cache
+        to at least this, so an engine can never have an in-use client
+        evicted from under it mid-round. Serial engines touch one client at
+        a time; the cohort engine overrides this with its chunk size.
+        """
+        return 1
+
     def capture_run_state(self) -> dict:
         """Snapshot the evolved per-client and per-client-strategy state
         for checkpointing (see :mod:`repro.persist`).
@@ -148,6 +158,11 @@ class SerialExecutor(Executor):
     def capture_run_state(self) -> dict:
         if self._clients is None or self._strategy is None:
             raise RuntimeError("executor not bound; construct it via FederatedSimulator")
+        if hasattr(self._clients, "capture_run_state"):
+            # Lazy population: it knows which clients have diverged from
+            # their (seed, cid)-deterministic initial state; iterating it
+            # here would materialise all of them.
+            return self._clients.capture_run_state(self._strategy)
         client_ids = [c.client_id for c in self._clients]
         return {
             "clients": {c.client_id: c.capture_state() for c in self._clients},

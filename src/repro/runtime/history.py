@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 __all__ = ["RoundRecord", "RunHistory"]
@@ -30,13 +30,28 @@ class RoundRecord:
 
 @dataclass
 class RunHistory:
-    """Ordered round records plus derived efficiency metrics."""
+    """Ordered round records plus derived efficiency metrics.
+
+    ``retain_client_events`` bounds run memory: the per-round
+    ``client_events`` dicts are the only per-client payload the history
+    accumulates, so on long or large-population runs they dominate its
+    footprint and grow without bound. With ``retain_client_events=False``
+    each appended record keeps an empty dict — the same information still
+    streams to the trace sink (``client.round`` spans, FedCA decision
+    events), but the post-hoc helpers that read retained events
+    (:meth:`early_stop_iterations`, :meth:`eager_iterations`) will see
+    nothing. Round summaries (times, accuracy, collected/straggler ids)
+    are always retained.
+    """
 
     records: list[RoundRecord] = field(default_factory=list)
+    retain_client_events: bool = True
 
     def append(self, record: RoundRecord) -> None:
         if self.records and record.round_index <= self.records[-1].round_index:
             raise ValueError("round records must be appended in order")
+        if not self.retain_client_events and record.client_events:
+            record = replace(record, client_events={})
         self.records.append(record)
 
     # ------------------------------------------------------------------

@@ -139,10 +139,18 @@ def _worker_main(pairs, clients, strategy, owned_ids, transport, worker_index) -
                 # lives only in this process — snapshot and ship it back
                 # through the transport's result path.
                 try:
-                    snapshot = (
-                        {cid: clients[cid].capture_state() for cid in owned_ids},
-                        strategy.capture_client_states(list(owned_ids)),
-                    )
+                    if hasattr(clients, "capture_run_state"):
+                        # Lazy population (fork-inherited, paging locally in
+                        # this worker): snapshot only its owned slice.
+                        captured = clients.capture_run_state(
+                            strategy, list(owned_ids)
+                        )
+                        snapshot = (captured["clients"], captured["strategy"])
+                    else:
+                        snapshot = (
+                            {cid: clients[cid].capture_state() for cid in owned_ids},
+                            strategy.capture_client_states(list(owned_ids)),
+                        )
                     _send(conn, ("ok", transport.encode_capture(snapshot)))
                 except Exception:
                     _send(conn, ("err", traceback.format_exc()))
@@ -247,8 +255,11 @@ class ParallelExecutor(Executor):
         """Allocate the transport and fork the pool. Must happen before any
         round has run, so the children inherit the clients in their initial
         (seeded) state — and the transport's arenas by the same fork."""
+        # Client ids are list indices by construction, so ownership routing
+        # needs no client objects — indexing a lazy population here would
+        # materialise every client in the parent before the fork.
         owned_per_worker = [
-            [c.client_id for c in self._clients if c.client_id % self.workers == w]
+            [cid for cid in range(len(self._clients)) if cid % self.workers == w]
             for w in range(self.workers)
         ]
         transport = make_transport(self.transport)

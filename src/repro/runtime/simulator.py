@@ -33,6 +33,7 @@ from .selection import select_clients
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..algorithms.base import Strategy
+    from ..scale import LazyClientPopulation, ShardProvider
 
 __all__ = ["FederatedSimulator"]
 
@@ -93,6 +94,23 @@ class FederatedSimulator:
         mirrored as ``repro_phase_seconds`` *gauges* each round; they
         never enter the event trace or the counters registry, so
         profiling cannot perturb determinism.
+    population:
+        Client-materialisation policy: ``None``/``"eager"`` (default)
+        builds every client up front; ``"lazy"``/``"lazy:cache=N"`` pages
+        clients through a bounded LRU of at most N live objects (default
+        ``repro.scale.DEFAULT_CACHE_CLIENTS``), reconstructing each from
+        ``(seed, cid)`` and spilling evicted state through the snapshot
+        codecs. Eager is the bitwise oracle: at equal inputs a lazy run's
+        history and trace are byte-identical (see :mod:`repro.scale` and
+        DESIGN.md §15); only peak memory changes — flat in total-client
+        count instead of linear.
+    spill_client_events:
+        Drop each round's per-client event dicts from the in-RAM
+        :class:`~repro.runtime.history.RunHistory` once the round record
+        is appended. The same information still streams to the trace sink
+        (``client.round`` spans and FedCA decision events), bounding run
+        memory for long runs at the cost of post-hoc helpers that read
+        ``record.client_events``.
     """
 
     def __init__(
@@ -100,9 +118,9 @@ class FederatedSimulator:
         *,
         model_fn: Callable[[], Module],
         strategy: "Strategy",
-        shards: Sequence[Dataset],
+        shards: "Sequence[Dataset] | ShardProvider",
         test_set: Dataset,
-        base_iteration_times: Sequence[float],
+        base_iteration_times: "Sequence[float] | Callable[[int], float]",
         batch_size: int = 16,
         local_iterations: int = 25,
         aggregation_fraction: float = 0.9,
@@ -119,8 +137,12 @@ class FederatedSimulator:
         executor: "Executor | str | None" = None,
         recorder: Recorder | None = None,
         profiler: PhaseProfiler | None = None,
+        population: str | None = None,
+        spill_client_events: bool = False,
     ) -> None:
-        if len(shards) != len(base_iteration_times):
+        if not callable(base_iteration_times) and len(shards) != len(
+            base_iteration_times
+        ):
             raise ValueError("need one base iteration time per client shard")
         if local_iterations < 1:
             raise ValueError("local_iterations must be >= 1")
@@ -142,57 +164,73 @@ class FederatedSimulator:
         self.global_buffers = self.global_model.buffer_dict()
 
         link_fn = link_fn or (lambda _cid: LinkModel())
-        ss = np.random.SeedSequence(seed)
-        client_seeds = ss.spawn(len(shards))
-        self.clients: list[SimClient] = []
+        from ..scale import (
+            ClientFactory,
+            LazyClientPopulation,
+            PopulationSpec,
+            as_shard_provider,
+            parse_population_spec,
+        )
         from ..sysmodel.speed import GAMMA_FAST, GAMMA_SLOW, SLOWDOWN_RANGE
 
         gamma_fast = gamma_fast or GAMMA_FAST
         gamma_slow = gamma_slow or GAMMA_SLOW
         slowdown_range = slowdown_range or SLOWDOWN_RANGE
-        for cid, shard in enumerate(shards):
-            child = np.random.default_rng(client_seeds[cid])
-            trace = SpeedTrace(
-                float(base_iteration_times[cid]),
-                seed=int(child.integers(2**31)),
+        # Both population modes construct clients through one factory, so a
+        # lazily paged-in client is bit-identical to its eager counterpart.
+        self._factory = ClientFactory(
+            PopulationSpec(
+                shards=as_shard_provider(shards),
+                model_fn=model_fn,
+                batch_size=batch_size,
+                pace=base_iteration_times,
+                link_fn=link_fn,
+                seed=seed,
                 dynamic=dynamic,
                 gamma_fast=gamma_fast,
                 gamma_slow=gamma_slow,
                 slowdown_range=slowdown_range,
             )
-            self.clients.append(
-                SimClient(
-                    cid,
-                    shard,
-                    model_fn=model_fn,
-                    batch_size=batch_size,
-                    trace=trace,
-                    link=link_fn(cid),
-                    seed=int(child.integers(2**31)),
-                )
-            )
+        )
+        num_clients = self._factory.num_clients
+        mode, cache_capacity = parse_population_spec(population)
+        self.population: "LazyClientPopulation | None"
+        if mode == "lazy":
+            assert cache_capacity is not None
+            self.population = LazyClientPopulation(self._factory, cache_capacity)
+            self.population.bind_strategy(strategy)
+            self.clients: "Sequence[SimClient]" = self.population
+        else:
+            self.population = None
+            self.clients = [
+                self._factory.create(cid) for cid in range(num_clients)
+            ]
         # Server-side pace estimates (seconds/iteration); bootstrapped from
-        # device-class metadata, refined with each round's observations.
-        self.est_pace: dict[int, float] = {
-            c.client_id: c.trace.base_iteration_time for c in self.clients
-        }
+        # device-class metadata via _pace_estimate, refined with each round's
+        # observations. Only observed entries are stored — an O(total
+        # clients) bootstrap dict would defeat the lazy population.
+        self.est_pace: dict[int, float] = {}
         self.dropout = DropoutModel(dropout_rate, seed=seed)
         self.time = 0.0
-        self.history = RunHistory()
+        self.history = RunHistory(retain_client_events=not spill_client_events)
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         if self.recorder.enabled:
-            for c in self.clients:
+            for cid in range(num_clients):
                 self.recorder.emit(
                     "run.client_meta",
                     sim_time=0.0,
-                    client_id=c.client_id,
-                    num_samples=c.num_samples,
-                    model_bytes=c.model_bytes,
-                    base_pace=c.trace.base_iteration_time,
+                    client_id=cid,
+                    num_samples=self._factory.shard_size(cid),
+                    model_bytes=self._factory.model_bytes,
+                    base_pace=self._factory.base_pace(cid),
                 )
         # The executor must bind while the clients are still in their
         # initial seeded state (ParallelExecutor forks replicas from here).
         self.executor = resolve_executor(executor)
+        if self.population is not None:
+            # Executors that hold several clients live at once (a cohort
+            # chunk) must never see a member evicted mid-round.
+            self.population.reserve(self.executor.min_resident_clients())
         self.executor.bind(self.clients, self.strategy)
         self.executor.set_recorder(self.recorder)
         self.profiler = profiler if profiler is not None else NULL_PROFILER
@@ -284,7 +322,8 @@ class FederatedSimulator:
             )
             # FedBalancer-style compute deadline from current pace estimates.
             est_compute = [
-                self.local_iterations * self.est_pace[cid] for cid in selected
+                self.local_iterations * self.pace_estimate(cid)
+                for cid in selected
             ]
             deadline = select_deadline(
                 est_compute, min_fraction=self.deadline_min_fraction
@@ -446,6 +485,18 @@ class FederatedSimulator:
         return record
 
     # ------------------------------------------------------------------
+    def pace_estimate(self, cid: int) -> float:
+        """Current seconds/iteration estimate for ``cid``.
+
+        Falls back to the factory's static base pace for clients never yet
+        observed — the same value the old eager bootstrap dict held, so
+        deadlines (and therefore histories) are unchanged."""
+        pace = self.est_pace.get(cid)
+        if pace is not None:
+            return pace
+        return self._factory.base_pace(cid)
+
+    # ------------------------------------------------------------------
     def _emit_round_end(self, record: RoundRecord) -> None:
         """Round-summary event plus run-level counters and gauges."""
         rec = self.recorder
@@ -464,6 +515,8 @@ class FederatedSimulator:
         rec.gauge("repro_sim_time_seconds", record.end_time)
         rec.gauge("repro_round_accuracy", record.accuracy)
         rec.gauge("repro_round_mean_loss", record.mean_loss)
+        if self.population is not None:
+            self.population.mirror_metrics(rec)
 
     # ------------------------------------------------------------------
     def run(

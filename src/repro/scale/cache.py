@@ -1,0 +1,257 @@
+"""Bounded resident-client cache: the paging half of the scale subsystem.
+
+:class:`LazyClientPopulation` is a drop-in stand-in for the simulator's
+eager ``list[SimClient]``: executors index it by cid and call ``len()``,
+and behind that interface a :class:`ResidentClientCache` keeps at most
+``capacity`` live :class:`~repro.runtime.client.SimClient` objects.
+
+Eviction must not lose state, so it follows a capture-before-release
+protocol built entirely from existing snapshot codecs:
+
+1. ``client.capture_state()`` — batch-stream + speed-trace RNG state
+   (the only cross-round mutable state a client carries; model/optimizer
+   are rebuilt from the broadcast every round);
+2. ``strategy.capture_client_states([cid])`` — per-client strategy state
+   (FedCA profiled curves, compression codec residuals/RNG);
+3. ``strategy.release_client_states([cid])`` — drop the strategy's own
+   per-client caches so evicted clients cost nothing anywhere.
+
+Rehydration inverts it: ``factory.create(cid)`` rebuilds the initial
+client bit-identically from ``(seed, cid)``, then the stored snapshot is
+restored on top. A client that was never evicted and one that round-tripped
+through eviction are therefore indistinguishable — byte-for-byte — which is
+what keeps lazy histories identical to eager ones.
+
+Every resident is treated as dirty: the simulator only indexes clients it
+is about to run, so an acquire implies mutation and eviction always
+snapshots. This forgoes a clean-eviction fast path in exchange for never
+tracking dirtiness wrongly.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..runtime.client import SimClient
+
+if TYPE_CHECKING:
+    from ..algorithms.base import Strategy
+    from ..obs.recorder import Recorder
+    from .population import ClientFactory
+
+__all__ = [
+    "DEFAULT_CACHE_CLIENTS",
+    "ResidentClientCache",
+    "LazyClientPopulation",
+]
+
+#: Default resident-set bound. Sized for ~10× a typical selected cohort so
+#: re-selected clients usually hit; override via ``--population lazy:cache=N``.
+DEFAULT_CACHE_CLIENTS = 64
+
+
+def _process_rss_bytes() -> int:
+    """Peak resident-set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS. Reading rusage
+    is not in the determinism lint's wall-clock set and never enters
+    history or trace bytes — it only feeds a gauge.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+class ResidentClientCache:
+    """LRU cache of live clients keyed by cid, with snapshot spill.
+
+    ``_snapshots[cid]`` holds ``{"client": ..., "strategy": ...}`` for every
+    client that has state but is not resident; a cid in neither map is still
+    in its initial (round-zero) state and needs no snapshot at all — this is
+    what keeps memory flat in total-client count.
+    """
+
+    def __init__(self, factory: "ClientFactory", capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.factory = factory
+        self.capacity = capacity
+        self._strategy: "Strategy | None" = None
+        self._residents: OrderedDict[int, SimClient] = OrderedDict()
+        self._snapshots: dict[int, dict[str, Any]] = {}
+        self.evictions = 0
+        self.rehydrations = 0
+        self.creations = 0
+
+    def bind_strategy(self, strategy: "Strategy") -> None:
+        self._strategy = strategy
+
+    def reserve(self, n: int) -> None:
+        """Grow capacity to at least ``n`` resident clients.
+
+        Executors that hold several clients live at once (a cohort chunk)
+        declare their working-set floor through this; evicting an in-use
+        client mid-round would snapshot stale state.
+        """
+        if n > self.capacity:
+            self.capacity = n
+
+    def __len__(self) -> int:
+        return len(self._residents)
+
+    def resident_ids(self) -> list[int]:
+        return sorted(self._residents)
+
+    def acquire(self, cid: int) -> SimClient:
+        """Return the live client for ``cid``, paging it in if needed."""
+        client = self._residents.get(cid)
+        if client is not None:
+            self._residents.move_to_end(cid)
+            return client
+        while len(self._residents) >= self.capacity:
+            self._evict_one()
+        client = self.factory.create(cid)
+        self.creations += 1
+        snapshot = self._snapshots.pop(cid, None)
+        if snapshot is not None:
+            client.restore_state(snapshot["client"])
+            strategy_state = snapshot["strategy"]
+            if strategy_state is not None and self._strategy is not None:
+                self._strategy.restore_client_states({cid: strategy_state})
+            self.rehydrations += 1
+        self._residents[cid] = client
+        return client
+
+    def _evict_one(self) -> None:
+        cid, client = self._residents.popitem(last=False)
+        strategy_state = None
+        if self._strategy is not None:
+            strategy_state = self._strategy.capture_client_states([cid]).get(cid)
+            self._strategy.release_client_states([cid])
+        self._snapshots[cid] = {
+            "client": client.capture_state(),
+            "strategy": strategy_state,
+        }
+        self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint integration
+    # ------------------------------------------------------------------
+    def seed_snapshot(self, cid: int, client_state: dict[str, Any]) -> None:
+        """Install a checkpointed client snapshot without materialising the
+        client (strategy state is restored globally by the checkpoint)."""
+        self._residents.pop(cid, None)
+        self._snapshots[cid] = {"client": client_state, "strategy": None}
+
+    def capture_run_state(
+        self,
+        strategy: "Strategy | None" = None,
+        client_ids: "Iterable[int] | None" = None,
+    ) -> dict[str, Any]:
+        """Snapshot every client that has diverged from its initial state.
+
+        Returns ``{"clients": {cid: client_state}, "strategy": {cid: ...}}``
+        in the shape executors' ``capture_run_state`` produces: residents are
+        captured live, evicted clients come from their stored snapshots.
+        Untouched clients are deterministic from ``(seed, cid)`` and need no
+        entry.
+        """
+        strategy = strategy if strategy is not None else self._strategy
+        touched = set(self._residents) | set(self._snapshots)
+        if client_ids is not None:
+            touched &= set(client_ids)
+        ids = sorted(touched)
+        clients: dict[int, dict[str, Any]] = {}
+        strategy_states: dict[int, dict[str, Any]] = {}
+        resident_ids = [cid for cid in ids if cid in self._residents]
+        if strategy is not None and resident_ids:
+            strategy_states.update(strategy.capture_client_states(resident_ids))
+        for cid in ids:
+            if cid in self._residents:
+                clients[cid] = self._residents[cid].capture_state()
+            else:
+                snapshot = self._snapshots[cid]
+                clients[cid] = snapshot["client"]
+                if snapshot["strategy"] is not None:
+                    strategy_states[cid] = snapshot["strategy"]
+        return {"clients": clients, "strategy": strategy_states}
+
+
+class LazyClientPopulation:
+    """Sequence-of-clients facade over a :class:`ResidentClientCache`.
+
+    Supports exactly the access patterns the runtime uses — ``len()`` and
+    integer indexing. Iteration is refused on purpose: iterating would
+    materialise every client, which is the O(total clients) cost this
+    subsystem exists to avoid; any code path that tries is a bug to fix,
+    not a slowdown to tolerate.
+    """
+
+    def __init__(
+        self, factory: "ClientFactory", capacity: int = DEFAULT_CACHE_CLIENTS
+    ) -> None:
+        self.factory = factory
+        self.cache = ResidentClientCache(factory, capacity)
+        self._mirrored_evictions = 0
+        self._mirrored_rehydrations = 0
+
+    def __len__(self) -> int:
+        return self.factory.num_clients
+
+    def __getitem__(self, cid: int) -> SimClient:
+        if not isinstance(cid, int):
+            raise TypeError("client populations index by integer cid only")
+        if not 0 <= cid < self.factory.num_clients:
+            raise IndexError(f"cid {cid} out of range")
+        return self.cache.acquire(cid)
+
+    def __iter__(self) -> Any:
+        raise TypeError(
+            "iterating a LazyClientPopulation would materialise every client; "
+            "index by cid instead"
+        )
+
+    # ------------------------------------------------------------------
+    def bind_strategy(self, strategy: "Strategy") -> None:
+        self.cache.bind_strategy(strategy)
+
+    def reserve(self, n: int) -> None:
+        self.cache.reserve(n)
+
+    def capture_run_state(
+        self,
+        strategy: "Strategy | None" = None,
+        client_ids: "Iterable[int] | None" = None,
+    ) -> dict[str, Any]:
+        return self.cache.capture_run_state(strategy, client_ids)
+
+    def restore_client_state(self, cid: int, client_state: dict[str, Any]) -> None:
+        self.cache.seed_snapshot(cid, client_state)
+
+    # ------------------------------------------------------------------
+    def mirror_metrics(self, recorder: "Recorder") -> None:
+        """Emit paging counters (as deltas) and residency/RSS gauges.
+
+        Counters and gauges never enter history or trace bytes, so lazy and
+        eager runs stay byte-identical on everything CI compares. Paging
+        counts are engine-dependent (each parallel worker pages its own
+        cache copy; the parent's sits idle) and are not checkpointed, so
+        they reset across resume — they are operational telemetry, not part
+        of the deterministic record.
+        """
+        delta_evictions = self.cache.evictions - self._mirrored_evictions
+        if delta_evictions:
+            recorder.counter("repro_population_evictions_total", delta_evictions)
+            self._mirrored_evictions = self.cache.evictions
+        delta_rehydrations = self.cache.rehydrations - self._mirrored_rehydrations
+        if delta_rehydrations:
+            recorder.counter(
+                "repro_population_rehydrations_total", delta_rehydrations
+            )
+            self._mirrored_rehydrations = self.cache.rehydrations
+        recorder.gauge("repro_resident_clients", float(len(self.cache)))
+        recorder.gauge("repro_population_rss_bytes", float(_process_rss_bytes()))

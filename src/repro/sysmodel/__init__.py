@@ -7,7 +7,11 @@ toggling, and communication from a per-client bottleneck-uplink model.
 
 from .availability import DropoutModel
 from .deadline import select_deadline
-from .heterogeneity import base_iteration_times, sample_speed_ratios
+from .heterogeneity import (
+    base_iteration_times,
+    iteration_time_for,
+    sample_speed_ratios,
+)
 from .network import DEFAULT_CLIENT_MBPS, LinkModel, Transmission, UplinkScheduler
 from .speed import GAMMA_FAST, GAMMA_SLOW, SLOWDOWN_RANGE, SpeedTrace
 
@@ -19,6 +23,7 @@ __all__ = [
     "SLOWDOWN_RANGE",
     "sample_speed_ratios",
     "base_iteration_times",
+    "iteration_time_for",
     "LinkModel",
     "UplinkScheduler",
     "Transmission",

@@ -12,7 +12,16 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["sample_speed_ratios", "base_iteration_times"]
+__all__ = [
+    "sample_speed_ratios",
+    "base_iteration_times",
+    "iteration_time_for",
+]
+
+#: Domain-separation tag for per-client pace seed derivation (see
+#: :func:`iteration_time_for`); keeps the pace stream independent of the
+#: other per-cid streams derived from the same population seed.
+_PACE_SEED_TAG = 0x9A
 
 
 def sample_speed_ratios(
@@ -59,3 +68,39 @@ def base_iteration_times(
         num_clients, sigma=sigma, max_ratio=max_ratio, seed=seed
     )
     return fastest_iteration_time * ratios
+
+
+def iteration_time_for(
+    cid: int,
+    fastest_iteration_time: float,
+    *,
+    sigma: float = 0.6,
+    max_ratio: float = 10.0,
+    seed: int = 0,
+) -> float:
+    """Per-client lazy analogue of :func:`base_iteration_times`.
+
+    :func:`base_iteration_times` normalises by the *population minimum*, so
+    computing one client's pace requires drawing all of them — O(total
+    clients), which the million-client scale path cannot afford. This
+    variant draws each client's slowness factor independently from
+    ``(seed, cid)``: the same truncated log-normal family, clipped to
+    ``[1, max_ratio]`` instead of min-normalised. The spread and the stable
+    stragglers — the properties the experiments need — are preserved; the
+    exact values differ from the eager helper's, so the two must not be
+    mixed within one run (the simulator derives every client of a run from
+    a single pace source).
+    """
+    if fastest_iteration_time <= 0:
+        raise ValueError("fastest_iteration_time must be positive")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if max_ratio < 1:
+        raise ValueError("max_ratio must be >= 1")
+    if cid < 0:
+        raise ValueError("cid must be non-negative")
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, cid, _PACE_SEED_TAG])
+    )
+    ratio = float(rng.lognormal(mean=0.0, sigma=sigma))
+    return fastest_iteration_time * min(max(ratio, 1.0), max_ratio)

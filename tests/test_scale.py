@@ -1,0 +1,561 @@
+"""Lazy-population scale subsystem tests (repro.scale).
+
+Covers: the per-client Dirichlet replay vs the full-partition oracle,
+factory reconstruction bit-equality, LRU paging with capture-before-release
+eviction, evict→rehydrate round-trip exactness (hypothesis), lazy↔eager
+bitwise run identity on all three engines, checkpointing through the lazy
+path, the history spill switch, and the ``--population`` spec parser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import OptimizerSpec, build_strategy
+from repro.core import FedCAConfig
+from repro.data import (
+    dirichlet_client_indices,
+    dirichlet_partition,
+    dirichlet_shard_sizes,
+    make_workload_data,
+)
+from repro.nn import LeNetCNN
+from repro.obs import TraceRecorder, events_to_jsonl
+from repro.runtime import FederatedSimulator, RunHistory, shm_available
+from repro.runtime.export import history_to_json
+from repro.runtime.history import RoundRecord
+from repro.runtime.parallel import fork_available
+from repro.scale import (
+    DEFAULT_CACHE_CLIENTS,
+    ClientFactory,
+    LazyClientPopulation,
+    LazyDirichletShards,
+    MaterializedShards,
+    PopulationSpec,
+    SubsampledShards,
+    as_shard_provider,
+    parse_population_spec,
+)
+from repro.sysmodel import LinkModel, iteration_time_for
+
+OPT = OptimizerSpec(lr=0.05, weight_decay=0.01)
+NUM_CLIENTS = 5
+ITERS = 6
+PACE = [0.01, 0.012, 0.015, 0.02, 0.03]
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+needs_shm = pytest.mark.skipif(
+    not shm_available()[0], reason="platform lacks POSIX shared memory"
+)
+
+
+@pytest.fixture(scope="module")
+def env_data():
+    train, test = make_workload_data("cnn", num_samples=400, seed=3)
+    parts = dirichlet_partition(train, NUM_CLIENTS, alpha=0.5, seed=4, min_samples=8)
+    return train, [train.subset(p) for p in parts], test
+
+
+def make_factory(env_data, *, seed=1):
+    _, shards, _ = env_data
+    return ClientFactory(
+        PopulationSpec(
+            shards=as_shard_provider(shards),
+            model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+            batch_size=8,
+            pace=PACE,
+            link_fn=lambda _cid: LinkModel(),
+            seed=seed,
+        )
+    )
+
+
+def assert_state_equal(a, b, path="state"):
+    """Recursive bit-exact comparison of snapshot trees (dicts/lists/arrays)."""
+    assert type(a) is type(b), f"{path}: {type(a)} != {type(b)}"
+    if isinstance(a, dict):
+        assert a.keys() == b.keys(), f"{path}: keys differ"
+        for key in a:
+            assert_state_equal(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), f"{path}: lengths differ"
+        for i, (x, y) in enumerate(zip(a, b)):
+            assert_state_equal(x, y, f"{path}[{i}]")
+    elif isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype, f"{path}: dtypes differ"
+        np.testing.assert_array_equal(a, b, err_msg=path)
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+# ----------------------------------------------------------------------
+# Lazy shard slicing vs the full-partition oracle
+# ----------------------------------------------------------------------
+class TestDirichletReplay:
+    def test_client_indices_match_full_partition(self, env_data):
+        train, _, _ = env_data
+        full = dirichlet_partition(train, NUM_CLIENTS, alpha=0.5, seed=4,
+                                   min_samples=8)
+        for cid in range(NUM_CLIENTS):
+            lazy = dirichlet_client_indices(train, NUM_CLIENTS, cid, alpha=0.5,
+                                            seed=4, min_samples=8)
+            np.testing.assert_array_equal(lazy, full[cid])
+
+    def test_shard_sizes_match_full_partition(self, env_data):
+        train, _, _ = env_data
+        full = dirichlet_partition(train, NUM_CLIENTS, alpha=0.5, seed=4,
+                                   min_samples=8)
+        sizes = dirichlet_shard_sizes(train, NUM_CLIENTS, alpha=0.5, seed=4,
+                                      min_samples=8)
+        assert [int(s) for s in sizes] == [len(p) for p in full]
+
+    def test_replay_covers_retry_loop(self, env_data):
+        # alpha small enough that the first draw usually violates
+        # min_samples — the replay must consume rejected draws identically.
+        train, _, _ = env_data
+        full = dirichlet_partition(train, NUM_CLIENTS, alpha=0.1, seed=11,
+                                   min_samples=8)
+        for cid in (0, NUM_CLIENTS - 1):
+            lazy = dirichlet_client_indices(train, NUM_CLIENTS, cid, alpha=0.1,
+                                            seed=11, min_samples=8)
+            np.testing.assert_array_equal(lazy, full[cid])
+
+    def test_cid_out_of_range(self, env_data):
+        train, _, _ = env_data
+        with pytest.raises(ValueError, match="out of range"):
+            dirichlet_client_indices(train, NUM_CLIENTS, NUM_CLIENTS)
+
+    def test_lazy_dirichlet_shards_provider(self, env_data):
+        train, shards, _ = env_data
+        provider = LazyDirichletShards(train, NUM_CLIENTS, alpha=0.5, seed=4,
+                                       min_samples=8)
+        assert len(provider) == NUM_CLIENTS
+        for cid in range(NUM_CLIENTS):
+            shard = provider.shard(cid)
+            np.testing.assert_array_equal(shard.x, shards[cid].x)
+            np.testing.assert_array_equal(shard.y, shards[cid].y)
+            assert provider.shard_size(cid) == len(shards[cid])
+
+
+# ----------------------------------------------------------------------
+# Factory reconstruction vs the eager constructor loop
+# ----------------------------------------------------------------------
+class TestClientFactory:
+    def test_seed_derivation_matches_spawn(self, env_data):
+        factory = make_factory(env_data)
+        ss = np.random.SeedSequence(1)
+        children = ss.spawn(NUM_CLIENTS)
+        for cid in range(NUM_CLIENTS):
+            rng = np.random.default_rng(children[cid])
+            expected = (int(rng.integers(2**31)), int(rng.integers(2**31)))
+            assert factory.client_seeds(cid) == expected
+
+    def test_created_client_matches_eager(self, env_data):
+        _, shards, test = env_data
+        factory = make_factory(env_data)
+        sim = FederatedSimulator(
+            model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+            strategy=build_strategy("fedavg", OPT),
+            shards=shards,
+            test_set=test,
+            base_iteration_times=PACE,
+            batch_size=8,
+            local_iterations=ITERS,
+            seed=1,
+        )
+        for cid in range(NUM_CLIENTS):
+            built = factory.create(cid)
+            eager = sim.clients[cid]
+            assert built.client_id == eager.client_id
+            assert built.num_samples == eager.num_samples
+            assert built.model_bytes == eager.model_bytes
+            assert_state_equal(built.capture_state(), eager.capture_state())
+        sim.close()
+
+    def test_metadata_without_materialisation(self, env_data):
+        _, shards, _ = env_data
+        factory = make_factory(env_data)
+        assert factory.num_clients == NUM_CLIENTS
+        for cid in range(NUM_CLIENTS):
+            assert factory.shard_size(cid) == len(shards[cid])
+            assert factory.base_pace(cid) == PACE[cid]
+        assert factory.model_bytes == factory.create(0).model_bytes
+
+    def test_create_out_of_range(self, env_data):
+        with pytest.raises(IndexError):
+            make_factory(env_data).create(NUM_CLIENTS)
+
+
+# ----------------------------------------------------------------------
+# LRU paging
+# ----------------------------------------------------------------------
+class TestLazyClientPopulation:
+    def test_len_and_indexing(self, env_data):
+        pop = LazyClientPopulation(make_factory(env_data), capacity=2)
+        assert len(pop) == NUM_CLIENTS
+        assert pop[3].client_id == 3
+        with pytest.raises(IndexError):
+            pop[NUM_CLIENTS]
+        with pytest.raises(TypeError):
+            pop["0"]
+
+    def test_iteration_refused(self, env_data):
+        pop = LazyClientPopulation(make_factory(env_data), capacity=2)
+        with pytest.raises(TypeError, match="materialise"):
+            list(pop)
+
+    def test_lru_eviction_and_counters(self, env_data):
+        pop = LazyClientPopulation(make_factory(env_data), capacity=2)
+        cache = pop.cache
+        cache.acquire(0)
+        cache.acquire(1)
+        assert cache.resident_ids() == [0, 1]
+        assert cache.evictions == 0
+        cache.acquire(2)  # evicts 0 (least recent)
+        assert cache.resident_ids() == [1, 2]
+        assert cache.evictions == 1
+        cache.acquire(1)  # hit refreshes recency
+        cache.acquire(3)  # now evicts 2, not 1
+        assert cache.resident_ids() == [1, 3]
+        cache.acquire(0)  # snapshot-backed rehydration
+        assert cache.rehydrations == 1
+
+    def test_reserve_grows_capacity(self, env_data):
+        pop = LazyClientPopulation(make_factory(env_data), capacity=1)
+        pop.reserve(4)
+        assert pop.cache.capacity == 4
+        pop.reserve(2)  # never shrinks
+        assert pop.cache.capacity == 4
+
+    def test_evict_rehydrate_round_trip(self, env_data):
+        pop = LazyClientPopulation(make_factory(env_data), capacity=1)
+        client = pop[0]
+        client.stream.next_batch()
+        client.trace.iteration_finish_time(0.0, 5)
+        before = client.capture_state()
+        pop.cache.acquire(1)  # evicts 0
+        assert pop.cache.resident_ids() == [1]
+        after = pop[0].capture_state()
+        assert_state_equal(after, before)
+
+    def test_rehydrated_equals_never_evicted(self, env_data):
+        roomy = LazyClientPopulation(make_factory(env_data), capacity=5)
+        tight = LazyClientPopulation(make_factory(env_data), capacity=1)
+        for pop in (roomy, tight):
+            c0 = pop[0]
+            c0.stream.next_batch()
+            pop[1].stream.next_batch()  # evicts 0 in the tight cache only
+            c0 = pop[0]
+            c0.stream.next_batch()
+        assert tight.cache.rehydrations >= 1
+        assert roomy.cache.rehydrations == 0
+        assert_state_equal(tight[0].capture_state(), roomy[0].capture_state())
+
+    def test_strategy_state_round_trips_through_eviction(self, env_data):
+        # CompressedFedAvg codecs carry evolving RNG/residual state — the
+        # capture-before-release contract must preserve it bit-exactly.
+        from repro.algorithms.compressed import fedavg_quantized
+
+        factory = make_factory(env_data)
+        strategy = fedavg_quantized(OPT, bits=8)
+        codec = strategy._codec_for(0)
+        codec.encode({"w": np.linspace(-1.0, 1.0, 32, dtype=np.float32)})
+        before = strategy.capture_client_states([0])[0]
+
+        pop = LazyClientPopulation(factory, capacity=1)
+        pop.bind_strategy(strategy)
+        pop.cache.acquire(0)
+        pop.cache.acquire(1)  # evicts 0, capturing + releasing its codec
+        assert 0 not in strategy._codecs
+        pop.cache.acquire(0)  # rehydrates client and codec
+        assert_state_equal(strategy.capture_client_states([0])[0], before)
+
+    def test_capture_run_state_merges_resident_and_evicted(self, env_data):
+        pop = LazyClientPopulation(make_factory(env_data), capacity=1)
+        pop[0].stream.next_batch()
+        pop[1].stream.next_batch()  # 0 evicted with advanced state
+        state = pop.capture_run_state()
+        assert sorted(state["clients"]) == [0, 1]
+        # Untouched clients need no entry: they are (seed, cid)-determined.
+        assert 2 not in state["clients"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    cid=st.integers(min_value=0, max_value=NUM_CLIENTS - 1),
+    batches=st.integers(min_value=0, max_value=7),
+    trace_iters=st.integers(min_value=0, max_value=9),
+    churn=st.lists(
+        st.integers(min_value=0, max_value=NUM_CLIENTS - 1),
+        min_size=1, max_size=6,
+    ),
+)
+def test_evict_rehydrate_round_trip_property(
+    precomputed_env, cid, batches, trace_iters, churn
+):
+    """Any mutation sequence survives any eviction churn bit-exactly."""
+    pop = LazyClientPopulation(make_factory(precomputed_env), capacity=1)
+    client = pop[cid]
+    for _ in range(batches):
+        client.stream.next_batch()
+    if trace_iters:
+        client.trace.iteration_finish_time(0.0, trace_iters)
+    before = client.capture_state()
+    for other in churn:
+        if other != cid:
+            pop[other].stream.next_batch()
+    assert_state_equal(pop[cid].capture_state(), before)
+
+
+@pytest.fixture(scope="module")
+def precomputed_env(env_data):
+    # hypothesis forbids function-scoped fixtures; reuse the module data.
+    return env_data
+
+
+# ----------------------------------------------------------------------
+# Lazy ↔ eager bitwise run identity (history JSON + JSONL trace)
+# ----------------------------------------------------------------------
+def run_traced(env_data, scheme, *, executor, population):
+    _, shards, test = env_data
+    fedca_cfg = FedCAConfig(profile_every=2) if scheme.startswith("fedca") else None
+    rec = TraceRecorder()
+    sim = FederatedSimulator(
+        model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+        strategy=build_strategy(scheme, OPT, fedca_config=fedca_cfg),
+        shards=shards,
+        test_set=test,
+        base_iteration_times=PACE,
+        batch_size=8,
+        local_iterations=ITERS,
+        aggregation_fraction=0.8,
+        seed=1,
+        executor=executor,
+        recorder=rec,
+        population=population,
+    )
+    try:
+        hist = sim.run(4)
+    finally:
+        sim.close()
+    return history_to_json(hist), events_to_jsonl(rec.events())
+
+
+ENGINES = [
+    pytest.param("serial", id="serial"),
+    pytest.param("parallel:2@shm", id="parallel-shm",
+                 marks=[needs_fork, needs_shm]),
+    pytest.param("cohort:4", id="cohort"),
+]
+
+
+@pytest.mark.parametrize("executor", ENGINES)
+@pytest.mark.parametrize("scheme", ["fedavg", "fedca"])
+def test_lazy_matches_eager_bitwise(env_data, scheme, executor):
+    hist_eager, trace_eager = run_traced(
+        env_data, scheme, executor=executor, population=None
+    )
+    # cache=2 < both the 4-client selection and the cohort chunk: constant
+    # eviction pressure (reserve() lifts it to the engine's floor).
+    hist_lazy, trace_lazy = run_traced(
+        env_data, scheme, executor=executor, population="lazy:cache=2"
+    )
+    assert hist_lazy == hist_eager
+    assert trace_lazy == trace_eager
+
+
+def test_lazy_checkpoint_resume_matches_uninterrupted(env_data, tmp_path):
+    from repro.persist import RunCheckpoint
+
+    _, shards, test = env_data
+
+    def build(population):
+        return FederatedSimulator(
+            model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+            strategy=build_strategy("fedca", OPT,
+                                    fedca_config=FedCAConfig(profile_every=2)),
+            shards=shards,
+            test_set=test,
+            base_iteration_times=PACE,
+            batch_size=8,
+            local_iterations=ITERS,
+            seed=1,
+            population=population,
+        )
+
+    with build("lazy:cache=2") as sim:
+        sim.run(2)
+        ckpt = RunCheckpoint.from_simulator(sim)
+        sim.run(2)
+        full = history_to_json(sim.history)
+
+    with build("lazy:cache=2") as resumed:
+        ckpt.restore_into(resumed)
+        resumed.run(2)
+        assert history_to_json(resumed.history) == full
+
+    # A lazy checkpoint restores into an eager simulator too (and vice
+    # versa): the snapshot format is population-agnostic.
+    with build(None) as eager:
+        ckpt.restore_into(eager)
+        eager.run(2)
+        assert history_to_json(eager.history) == full
+
+
+# ----------------------------------------------------------------------
+# History spill (unbounded client_events growth fix)
+# ----------------------------------------------------------------------
+class TestHistorySpill:
+    def _record(self, i):
+        return RoundRecord(
+            round_index=i, start_time=0.0, end_time=1.0, accuracy=0.5,
+            mean_loss=0.1, collected_clients=(0,), straggler_clients=(),
+            mean_iterations=1.0, total_bytes=10,
+            client_events={0: {"early_stop_iteration": 3}},
+        )
+
+    def test_retained_by_default(self):
+        hist = RunHistory()
+        hist.append(self._record(0))
+        assert hist.records[0].client_events
+        assert hist.early_stop_iterations() == [3]
+
+    def test_spill_drops_events_keeps_summaries(self):
+        hist = RunHistory(retain_client_events=False)
+        hist.append(self._record(0))
+        assert hist.records[0].client_events == {}
+        assert hist.records[0].accuracy == 0.5
+        assert hist.early_stop_iterations() == []
+
+    def test_simulator_spill_flag(self, env_data):
+        _, shards, test = env_data
+        sim = FederatedSimulator(
+            model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+            strategy=build_strategy("fedavg", OPT),
+            shards=shards,
+            test_set=test,
+            base_iteration_times=PACE,
+            batch_size=8,
+            local_iterations=ITERS,
+            seed=1,
+            spill_client_events=True,
+        )
+        with sim:
+            record = sim.run_round()
+        assert sim.history.records[0].client_events == {}
+        assert record.client_events  # the returned record is untouched
+
+
+# ----------------------------------------------------------------------
+# Scale partition + per-cid pace helpers
+# ----------------------------------------------------------------------
+class TestSubsampledShards:
+    def test_deterministic_and_sized(self, env_data):
+        train, _, _ = env_data
+        provider = SubsampledShards(train, 1000, 16, alpha=0.5, seed=9)
+        assert len(provider) == 1000
+        s1, s2 = provider.shard(123), provider.shard(123)
+        np.testing.assert_array_equal(s1.x, s2.x)
+        np.testing.assert_array_equal(s1.y, s2.y)
+        assert len(s1) == 16 == provider.shard_size(123)
+
+    def test_clients_differ(self, env_data):
+        train, _, _ = env_data
+        provider = SubsampledShards(train, 1000, 16, alpha=0.5, seed=9)
+        a, b = provider.shard(0), provider.shard(1)
+        assert not (a.x.shape == b.x.shape and np.array_equal(a.x, b.x))
+
+    def test_uniform_mode(self, env_data):
+        train, _, _ = env_data
+        provider = SubsampledShards(train, 10, 8, alpha=None, seed=9)
+        assert len(provider.shard(3)) == 8
+
+    def test_validation(self, env_data):
+        train, _, _ = env_data
+        with pytest.raises(ValueError):
+            SubsampledShards(train, 0, 16)
+        with pytest.raises(ValueError):
+            SubsampledShards(train, 10, 0)
+        with pytest.raises(ValueError):
+            SubsampledShards(train, 10, 16, alpha=-1.0)
+        with pytest.raises(ValueError):
+            SubsampledShards(train, 10, 16).shard(10)
+
+
+class TestIterationTimeFor:
+    def test_deterministic_per_cid(self):
+        a = iteration_time_for(42, 0.01, seed=5)
+        assert a == iteration_time_for(42, 0.01, seed=5)
+        assert a != iteration_time_for(43, 0.01, seed=5)
+        assert a != iteration_time_for(42, 0.01, seed=6)
+
+    def test_bounds(self):
+        for cid in range(200):
+            t = iteration_time_for(cid, 0.01, max_ratio=10.0, seed=0)
+            assert 0.01 <= t <= 0.1 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            iteration_time_for(0, 0.0)
+        with pytest.raises(ValueError):
+            iteration_time_for(-1, 0.01)
+        with pytest.raises(ValueError):
+            iteration_time_for(0, 0.01, sigma=-1)
+        with pytest.raises(ValueError):
+            iteration_time_for(0, 0.01, max_ratio=0.5)
+
+
+# ----------------------------------------------------------------------
+# Spec parsing + misc plumbing
+# ----------------------------------------------------------------------
+class TestParsePopulationSpec:
+    def test_eager_forms(self):
+        assert parse_population_spec(None) == ("eager", None)
+        assert parse_population_spec("eager") == ("eager", None)
+
+    def test_lazy_forms(self):
+        assert parse_population_spec("lazy") == ("lazy", DEFAULT_CACHE_CLIENTS)
+        assert parse_population_spec("lazy:cache=7") == ("lazy", 7)
+
+    @pytest.mark.parametrize(
+        "bad", ["lazy:cache=0", "lazy:cache=x", "lazy:weird=1", "keen", "lazy:"]
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="population spec|cache size"):
+            parse_population_spec(bad)
+
+
+def test_as_shard_provider_passthrough(env_data):
+    train, shards, _ = env_data
+    wrapped = as_shard_provider(shards)
+    assert isinstance(wrapped, MaterializedShards)
+    assert as_shard_provider(wrapped) is wrapped
+    provider = SubsampledShards(train, 10, 8, seed=0)
+    assert as_shard_provider(provider) is provider
+
+
+def test_lazy_run_bounds_materialisation(env_data):
+    """A lazy run touches only selected clients — creations stay well under
+    the population when participation is sparse."""
+    _, shards, test = env_data
+    sim = FederatedSimulator(
+        model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+        strategy=build_strategy("fedavg", OPT),
+        shards=shards,
+        test_set=test,
+        base_iteration_times=PACE,
+        batch_size=8,
+        local_iterations=ITERS,
+        clients_per_round=2,
+        seed=1,
+        population="lazy:cache=2",
+    )
+    with sim:
+        sim.run(2)
+    assert len(sim.population.cache) <= 2
+    assert sim.population.cache.creations <= 2 * 2 + sim.population.cache.rehydrations
