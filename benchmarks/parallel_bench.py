@@ -27,6 +27,14 @@ Telemetry modes (PR 2):
   ``--repeats`` each, and exits non-zero if enabled-tracing overhead
   exceeds ``--max-overhead`` (default 10 %). CI runs this and uploads the
   trace artifact.
+
+Shard×wire matrix (PR 10): unless ``--skip-shard-matrix`` is given, the
+bench also A/Bs ``parallel@shm+shards={1,2,4}`` against the serial
+oracle under ``--wire {raw,quant8}``, recording aggregate-phase seconds
+(PR-7 profiler) and raw-vs-wire bytes per round into the JSON. Gates:
+raw sharded histories must match the oracle bitwise, quant8 must move at
+most ``--wire-gate`` (0.3×) of the raw bytes per round, and no
+``repro-ipc*`` shard arena may remain in /dev/shm afterwards.
 """
 
 from __future__ import annotations
@@ -43,13 +51,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.algorithms import build_strategy  # noqa: E402
 from repro.experiments.configs import get_workload, make_environment  # noqa: E402
-from repro.obs import TraceRecorder  # noqa: E402
+from repro.obs import PhaseProfiler, TraceRecorder  # noqa: E402
 from repro.runtime.parallel import default_workers, fork_available  # noqa: E402
 from repro.runtime.transport import (  # noqa: E402
     BROADCAST_SECONDS,
+    SEGMENT_PREFIX,
     ipc_bytes_counter,
     shm_available,
 )
+from repro.runtime.wire import parse_wire_spec  # noqa: E402
 
 
 def bench_config(num_clients: int):
@@ -136,6 +146,137 @@ def fingerprint(history):
     ]
 
 
+def leaked_shm_segments() -> list[str]:
+    """Leftover ``repro-ipc*`` segments in /dev/shm (should be none)."""
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return []
+    return sorted(
+        p.name for p in shm_dir.iterdir() if p.name.startswith(SEGMENT_PREFIX)
+    )
+
+
+def run_profiled(cfg, executor, rounds: int, seed: int, *, wire=None,
+                 scheme="fedavg"):
+    """One measured run with the phase profiler attached; returns the
+    history, aggregate-phase seconds per round, and byte totals."""
+    strategy = build_strategy(scheme, cfg.optimizer_spec())
+    layer = parse_wire_spec(wire)
+    if layer is not None:
+        strategy.set_wire(layer)
+    profiler = PhaseProfiler()
+    sim = make_environment(
+        cfg, strategy, seed=seed, executor=executor, profiler=profiler
+    )
+    try:
+        history = sim.run(rounds)
+    finally:
+        sim.close()
+    laps = profiler.round_breakdowns()
+    aggregate_s = sum(lap.get("aggregate", 0.0) for lap in laps)
+    wire_events = [
+        ev["wire"]
+        for r in history.records
+        for ev in r.client_events.values()
+        if "wire" in ev
+    ]
+    if wire_events:
+        wire_bytes = sum(w["wire_bytes"] for w in wire_events)
+        raw_bytes = sum(w["raw_bytes"] for w in wire_events)
+    else:
+        wire_bytes = raw_bytes = sum(r.total_bytes for r in history.records)
+    return history, aggregate_s, wire_bytes, raw_bytes
+
+
+def shard_wire_matrix(args, workers: int) -> tuple[list[dict], int]:
+    """Shard×wire A/B grid (the PR-10 acceptance matrix).
+
+    Rows record aggregate-phase seconds (PR-7 profiler) and raw-vs-wire
+    bytes per round. Gates: every ``raw`` sharded history must match the
+    serial oracle bitwise, and quant8 must move ≤ ``--wire-gate`` (0.3×)
+    of the raw bytes per round.
+    """
+    cfg = bench_config(args.clients[0])
+    rounds, seed = args.rounds, args.seed
+    shm_ok, shm_reason = shm_available()
+    rows: list[dict] = []
+    if not (fork_available() and shm_ok):
+        print(f"shard matrix skipped (fork/shm unavailable: {shm_reason})")
+        return rows, 0
+
+    refs = {}
+    for wire in ["raw", "quant8"]:
+        hist, aggregate_s, wire_bytes, raw_bytes = run_profiled(
+            cfg, "serial", rounds, seed, wire=wire
+        )
+        refs[wire] = fingerprint(hist)
+        rows.append(
+            {
+                "executor": "serial",
+                "shards": None,
+                "wire": wire,
+                "aggregate_s": round(aggregate_s, 4),
+                "wire_bytes_per_round": round(wire_bytes / rounds),
+                "raw_bytes_per_round": round(raw_bytes / rounds),
+                "histories_identical": True,
+            }
+        )
+        if wire == "quant8":
+            ratio = wire_bytes / max(raw_bytes, 1)
+            print(
+                f"wire=quant8  bytes/round: raw={raw_bytes / rounds / 1024:.1f}KiB "
+                f"wire={wire_bytes / rounds / 1024:.1f}KiB  ratio={ratio:.3f} "
+                f"(gate <= {args.wire_gate})"
+            )
+            if ratio > args.wire_gate:
+                print(
+                    f"ERROR: quant8 moved {ratio:.3f}x the raw bytes "
+                    f"(gate is {args.wire_gate}x)",
+                    file=sys.stderr,
+                )
+                return rows, 1
+
+    for shards in [1, 2, 4]:
+        for wire in ["raw", "quant8"]:
+            spec = f"parallel:{workers}@shm+shards={shards}"
+            hist, aggregate_s, wire_bytes, raw_bytes = run_profiled(
+                cfg, spec, rounds, seed, wire=wire
+            )
+            identical = fingerprint(hist) == refs[wire]
+            rows.append(
+                {
+                    "executor": spec,
+                    "shards": shards,
+                    "wire": wire,
+                    "aggregate_s": round(aggregate_s, 4),
+                    "wire_bytes_per_round": round(wire_bytes / rounds),
+                    "raw_bytes_per_round": round(raw_bytes / rounds),
+                    "histories_identical": identical,
+                }
+            )
+            print(
+                f"shards={shards}  wire={wire:6s}  aggregate={aggregate_s:7.4f}s  "
+                f"wire_bytes={wire_bytes / rounds / 1024:8.1f}KiB/round  "
+                f"identical={identical}"
+            )
+            if not identical:
+                print(
+                    f"ERROR: {spec} wire={wire} history diverged from the "
+                    "serial oracle",
+                    file=sys.stderr,
+                )
+                return rows, 1
+
+    leaked = leaked_shm_segments()
+    if leaked:
+        print(
+            f"ERROR: leaked shm segments after the shard matrix: {leaked}",
+            file=sys.stderr,
+        )
+        return rows, 1
+    return rows, 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--clients", type=int, nargs="+", default=[8, 16, 32])
@@ -160,6 +301,11 @@ def main(argv=None) -> int:
                              "(fraction, default 0.10)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="--telemetry-check best-of repeat count")
+    parser.add_argument("--skip-shard-matrix", action="store_true",
+                        help="skip the shard×wire A/B matrix (PR-10 gates)")
+    parser.add_argument("--wire-gate", type=float, default=0.3,
+                        help="max quant8 wire/raw bytes-per-round ratio "
+                             "(default 0.3)")
     args = parser.parse_args(argv)
 
     if args.telemetry_check:
@@ -264,6 +410,17 @@ def main(argv=None) -> int:
                     file=sys.stderr,
                 )
                 return 1
+
+    if not args.skip_shard_matrix:
+        rows, rc = shard_wire_matrix(args, workers)
+        report["shard_wire"] = rows
+        if rc != 0:
+            return rc
+
+    leaked = leaked_shm_segments()
+    if leaked:
+        print(f"ERROR: leaked shm segments: {leaked}", file=sys.stderr)
+        return 1
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -26,6 +26,7 @@ from ..runtime.round import ClientRoundResult, RoundContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.simulator import FederatedSimulator
+    from ..runtime.wire import WireLayer
 
 __all__ = ["Strategy", "OptimizerSpec", "run_local_iterations"]
 
@@ -66,6 +67,23 @@ class Strategy(ABC):
 
     #: Human-readable scheme name used in reports and benches.
     name: str = "base"
+
+    #: Optional compressed wire transport (see :mod:`repro.runtime.wire`).
+    #: ``None`` (raw) keeps every upload byte-identical to the pre-wire
+    #: runtime. Class attribute so subclasses need no ``__init__`` hook.
+    _wire: "WireLayer | None" = None
+
+    @property
+    def wire(self) -> "WireLayer | None":
+        return self._wire
+
+    def set_wire(self, wire: "WireLayer | None") -> None:
+        """Attach a wire format before the first round runs.
+
+        Attaching mid-run would desynchronise codec state across
+        checkpoints; the runners call this right after building the
+        strategy."""
+        self._wire = wire
 
     def prepare_round(
         self,
@@ -117,14 +135,50 @@ class Strategy(ABC):
     def capture_client_states(
         self, client_ids: list[int] | None = None
     ) -> dict[int, dict]:
-        """Per-client cross-round state, keyed by client id (default: none)."""
-        return {}
+        """Per-client cross-round state, keyed by client id.
+
+        Template method: subclasses override :meth:`_capture_client_states`
+        (scheme state only); this wrapper merges in the attached wire
+        layer's codec state (error-feedback residuals, quantization RNG
+        position) so checkpoints, lazy-population eviction and parallel
+        worker capture carry it automatically. Without a wire layer the
+        snapshot shape is exactly the subclass's — existing checkpoints
+        stay valid.
+        """
+        states = self._capture_client_states(client_ids)
+        wire = self._wire
+        if wire is None:
+            return states
+        wire_states = wire.capture_client_states(client_ids)
+        return {
+            cid: {
+                "strategy": states.get(cid),
+                "wire": wire_states.get(cid),
+            }
+            for cid in sorted(states.keys() | wire_states.keys())
+        }
 
     def restore_client_states(self, states: dict[int, dict]) -> None:
-        """Inverse of :meth:`capture_client_states` (default: no-op)."""
+        """Inverse of :meth:`capture_client_states`."""
+        wire = self._wire
+        if wire is None:
+            self._restore_client_states(states)
+            return
+        strategy_states: dict[int, dict] = {}
+        wire_states: dict[int, dict] = {}
+        for cid, payload in states.items():
+            cid = int(cid)
+            if payload.get("strategy") is not None:
+                strategy_states[cid] = payload["strategy"]
+            if payload.get("wire") is not None:
+                wire_states[cid] = payload["wire"]
+        if strategy_states:
+            self._restore_client_states(strategy_states)
+        if wire_states:
+            wire.restore_client_states(wire_states)
 
     def release_client_states(self, client_ids: list[int]) -> None:
-        """Drop any per-client caches for ``client_ids`` (default: no-op).
+        """Drop any per-client caches for ``client_ids``.
 
         Paging hook for the lazy population (see :mod:`repro.scale`): when a
         client is evicted from the resident cache, the cache first calls
@@ -132,8 +186,25 @@ class Strategy(ABC):
         strategy's memory footprint also stays bounded by the resident set.
         A later :meth:`restore_client_states` with the captured snapshot
         must leave the strategy exactly as if the release never happened
-        (capture-before-release contract).
+        (capture-before-release contract). The wrapper releases the wire
+        layer's codecs alongside the subclass state.
         """
+        self._release_client_states(client_ids)
+        if self._wire is not None:
+            self._wire.release_client_states(client_ids)
+
+    # -- subclass halves of the template methods above ------------------
+    def _capture_client_states(
+        self, client_ids: list[int] | None = None
+    ) -> dict[int, dict]:
+        """Scheme-specific per-client state (default: none)."""
+        return {}
+
+    def _restore_client_states(self, states: dict[int, dict]) -> None:
+        """Inverse of :meth:`_capture_client_states` (default: no-op)."""
+
+    def _release_client_states(self, client_ids: list[int]) -> None:
+        """Drop scheme-specific caches for ``client_ids`` (default: no-op)."""
 
     # ------------------------------------------------------------------
     @staticmethod

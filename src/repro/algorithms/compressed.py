@@ -52,7 +52,7 @@ class CompressedFedAvg(FedAvg):
         return self._codec_for(client.client_id).encode(update)
 
     # -- checkpoint/resume hooks (see repro.persist) -------------------
-    def capture_client_states(
+    def _capture_client_states(
         self, client_ids: list[int] | None = None
     ) -> dict[int, dict]:
         """Per-client codec state: top-k error-feedback residuals, QSGD
@@ -64,11 +64,11 @@ class CompressedFedAvg(FedAvg):
         )
         return {cid: self._codecs[cid].snapshot_state() for cid in ids}
 
-    def restore_client_states(self, states: dict[int, dict]) -> None:
+    def _restore_client_states(self, states: dict[int, dict]) -> None:
         for cid, snapshot in states.items():
             self._codec_for(int(cid)).restore_state(snapshot)
 
-    def release_client_states(self, client_ids: list[int]) -> None:
+    def _release_client_states(self, client_ids: list[int]) -> None:
         """Evict per-client codecs (lazy-population paging). Codec state —
         residuals, RNG positions — evolves across rounds, so the cache
         captures it first; a rehydrated codec is rebuilt by ``_codec_for``

@@ -43,6 +43,15 @@ class FedAvg(Strategy):
         update, nbytes = self._encode_update(
             client, client.local_update(global_state)
         )
+        events: dict = {"iterations_run": iterations}
+        if self._wire is not None:
+            # Compressed transport: the server aggregates the decoded
+            # (lossy) update, and the *wire* byte count drives the uplink
+            # timeline below. The raw counterfactual is kept for the
+            # repro_wire_bytes_total{variant} accounting.
+            raw_nbytes = nbytes
+            update, nbytes = self._wire.encode(client.client_id, update)
+            events["wire"] = {"raw_bytes": raw_nbytes, "wire_bytes": nbytes}
         client.uplink.reset(compute_start)
         upload_finish = client.uplink.submit(
             compute_finish, nbytes, label="full"
@@ -57,7 +66,7 @@ class FedAvg(Strategy):
             upload_finish_time=upload_finish,
             bytes_uploaded=nbytes,
             mean_loss=mean_loss,
-            events={"iterations_run": iterations},
+            events=events,
             buffers=client.model.buffer_dict(),
         )
 
@@ -82,6 +91,9 @@ class FedAvg(Strategy):
             cls.client_round is not FedAvg.client_round
             or cls._build_optimizer is not FedAvg._build_optimizer
             or cls._encode_update is not FedAvg._encode_update
+            # Wire codecs are stateful per client with no batched twin;
+            # the serial fallback keeps their encode order exact.
+            or self._wire is not None
         ):
             return None
         clients = engine.clients

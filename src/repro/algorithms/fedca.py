@@ -78,7 +78,7 @@ class FedCA(Strategy):
         return sampler
 
     # ------------------------------------------------------------------
-    def capture_client_states(
+    def _capture_client_states(
         self, client_ids: list[int] | None = None
     ) -> dict[int, dict]:
         """Anchor-profiled curves per client (the only FedCA state that
@@ -102,7 +102,7 @@ class FedCA(Strategy):
             }
         return out
 
-    def restore_client_states(self, states: dict[int, dict]) -> None:
+    def _restore_client_states(self, states: dict[int, dict]) -> None:
         for cid, payload in states.items():
             self._curves[int(cid)] = ProfiledCurves(
                 round_index=int(payload["round_index"]),
@@ -114,7 +114,7 @@ class FedCA(Strategy):
                 model_curve=np.asarray(payload["model_curve"], dtype=np.float64),
             )
 
-    def release_client_states(self, client_ids: list[int]) -> None:
+    def _release_client_states(self, client_ids: list[int]) -> None:
         """Evict per-client caches (lazy-population paging). Curves are
         captured beforehand per the contract; samplers draw their indices
         once at construction from ``sampler_seed + cid``, so a rebuilt
@@ -179,6 +179,9 @@ class FedCA(Strategy):
             or cls._run_iteration is not FedCA._run_iteration
             or cls._anchor_round is not FedCA._anchor_round
             or cls._optimized_round is not FedCA._optimized_round
+            # Wire codecs are stateful per client with no batched twin;
+            # the serial fallback keeps their encode order exact.
+            or self._wire is not None
         ):
             return None
         cfg = self.config
@@ -487,10 +490,30 @@ class FedCA(Strategy):
                 {"kind": "fedca.anchor", "sim_time": t, "fields": recorder.stats()}
             )
         self._curves[client.client_id] = recorder.finalize(ctx.round_index)
-        upload_finish, nbytes = self._finish_upload(client, compute_start, t)
+        update = client.local_update(global_state)
+        events: dict = {
+            "anchor": True,
+            "iterations_run": ctx.iterations,
+            "early_stop_iteration": None,
+            "eager": {},
+            "retransmitted": [],
+            "profiling_bytes": profiling_bytes,
+        }
+        if self._wire is None:
+            upload_finish, nbytes = self._finish_upload(client, compute_start, t)
+        else:
+            # Anchor rounds upload the full update through the wire codec;
+            # the wire byte count drives the uplink timeline.
+            update, nbytes = self._wire.encode(client.client_id, update)
+            client.uplink.reset(compute_start)
+            upload_finish = client.uplink.submit(t, nbytes, label="full").finish_time
+            events["wire"] = {
+                "raw_bytes": client.model_bytes,
+                "wire_bytes": nbytes,
+            }
         return ClientRoundResult(
             client_id=client.client_id,
-            update=client.local_update(global_state),
+            update=update,
             num_samples=client.num_samples,
             iterations_run=ctx.iterations,
             compute_start_time=compute_start,
@@ -498,14 +521,7 @@ class FedCA(Strategy):
             upload_finish_time=upload_finish,
             bytes_uploaded=nbytes,
             mean_loss=total_loss / ctx.iterations,
-            events={
-                "anchor": True,
-                "iterations_run": ctx.iterations,
-                "early_stop_iteration": None,
-                "eager": {},
-                "retransmitted": [],
-                "profiling_bytes": profiling_bytes,
-            },
+            events=events,
             buffers=client.model.buffer_dict(),
             trace=trace or [],
         )
@@ -533,7 +549,7 @@ class FedCA(Strategy):
         t = compute_start
 
         eager_sink = None
-        if trace is not None:
+        if trace is not None and self._wire is None:
             def eager_sink(layer: str, trigger: int, fired: int) -> None:
                 # ``t`` reads the enclosing loop's current iteration finish.
                 trace.append(
@@ -548,6 +564,10 @@ class FedCA(Strategy):
                         },
                     }
                 )
+        # With a wire layer the eager bytes are only known after encoding,
+        # so the trace event is emitted in the loop below instead of by the
+        # schedule's sink. ``due()`` fires layers in the same insertion
+        # order it returns them, so the event order is unchanged.
 
         schedule = (
             EagerSchedule(curves, cfg.eager_threshold, sink=eager_sink)
@@ -559,6 +579,7 @@ class FedCA(Strategy):
         params = {name: p.data for name, p in client.model.named_parameters()}
         transmitted: dict[str, np.ndarray] = {}
         eager_iter: dict[str, int] = {}
+        raw_eager_bytes = 0
         total_loss = 0.0
         stopped_early = False
         stop_reason = "completed"
@@ -571,12 +592,28 @@ class FedCA(Strategy):
                 for layer in schedule.due(tau):
                     # TryEagerTransmit: snapshot the layer's update as of now
                     # and queue it on the uplink, overlapping with compute.
-                    transmitted[layer] = (
-                        params[layer] - global_state[layer]
-                    ).copy()
-                    client.uplink.submit(
-                        t, client.layer_bytes[layer], label=f"eager:{layer}"
-                    )
+                    value = (params[layer] - global_state[layer]).copy()
+                    send_bytes = client.layer_bytes[layer]
+                    if self._wire is not None:
+                        value, send_bytes = self._wire.encode_layer(
+                            client.client_id, layer, value
+                        )
+                        raw_eager_bytes += client.layer_bytes[layer]
+                        if trace is not None:
+                            trace.append(
+                                {
+                                    "kind": "fedca.eager",
+                                    "sim_time": t,
+                                    "fields": {
+                                        "layer": layer,
+                                        "tau": tau,
+                                        "trigger": schedule.triggers[layer],
+                                        "bytes": send_bytes,
+                                    },
+                                }
+                            )
+                    transmitted[layer] = value
+                    client.uplink.submit(t, send_bytes, label=f"eager:{layer}")
                     eager_iter[layer] = tau
             if tau < ctx.iterations:
                 decision = stopper.decide(tau, t - compute_start, ctx.deadline)
@@ -641,7 +678,19 @@ class FedCA(Strategy):
         tail_layers = [
             name for name in client.layer_bytes if name not in transmitted
         ] + retrans
-        tail_bytes = sum(client.layer_bytes[name] for name in tail_layers)
+        raw_tail_bytes = sum(client.layer_bytes[name] for name in tail_layers)
+        tail_updates: dict[str, np.ndarray] | None = None
+        if self._wire is None:
+            tail_bytes = raw_tail_bytes
+        elif tail_layers:
+            # Retransmitted layers ride the tail, so their decoded values
+            # below overwrite the stale eager ones.
+            tail_updates, tail_bytes = self._wire.encode(
+                client.client_id,
+                {name: final_updates[name] for name in tail_layers},
+            )
+        else:
+            tail_bytes = 0
         if tail_bytes > 0:
             upload_finish = client.uplink.submit(
                 compute_finish, tail_bytes, label="tail"
@@ -651,11 +700,25 @@ class FedCA(Strategy):
 
         # What the server receives: stale eager values unless retransmitted.
         received = dict(final_updates)
+        if tail_updates is not None:
+            received.update(tail_updates)
         retrans_set = set(retrans)
         for name, value in transmitted.items():
             if name not in retrans_set:
                 received[name] = value
 
+        events: dict = {
+            "anchor": False,
+            "iterations_run": iterations_run,
+            "early_stop_iteration": iterations_run if stopped_early else None,
+            "eager": eager_iter,
+            "retransmitted": retrans,
+        }
+        if self._wire is not None:
+            events["wire"] = {
+                "raw_bytes": raw_eager_bytes + raw_tail_bytes,
+                "wire_bytes": client.uplink.total_bytes,
+            }
         return ClientRoundResult(
             client_id=client.client_id,
             update=received,
@@ -666,13 +729,7 @@ class FedCA(Strategy):
             upload_finish_time=upload_finish,
             bytes_uploaded=client.uplink.total_bytes,
             mean_loss=total_loss / max(1, iterations_run),
-            events={
-                "anchor": False,
-                "iterations_run": iterations_run,
-                "early_stop_iteration": iterations_run if stopped_early else None,
-                "eager": eager_iter,
-                "retransmitted": retrans,
-            },
+            events=events,
             buffers=client.model.buffer_dict(),
             trace=trace or [],
         )

@@ -247,6 +247,13 @@ def _add_executor(parser: argparse.ArgumentParser) -> None:
         "--cohort-size", type=_positive_int, default=None, metavar="M",
         help="clients per batched tensor program for --executor cohort "
              "(default: 32)")
+    parser.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="S",
+        help="sharded tree-reduction aggregation for --executor parallel "
+             "(shm transport only): partition the model into S parameter-"
+             "range shards and reduce each in its owning worker — "
+             "byte-identical histories, no full layers×clients stack in "
+             "any one process")
 
 
 def _executor_spec(args: argparse.Namespace) -> str:
@@ -256,6 +263,8 @@ def _executor_spec(args: argparse.Namespace) -> str:
             spec += f":{args.workers}"
         if args.transport != "auto":
             spec += f"@{args.transport}"
+        if args.shards is not None:
+            spec += f"+shards={args.shards}"
         return spec
     if args.executor == "cohort":
         spec = "cohort"
@@ -263,6 +272,27 @@ def _executor_spec(args: argparse.Namespace) -> str:
             spec += f":{args.cohort_size}"
         return spec
     return args.executor
+
+
+def _wire_spec(value: str) -> str:
+    from .runtime.wire import parse_wire_spec
+
+    try:
+        parse_wire_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
+
+
+def _add_wire(parser: argparse.ArgumentParser) -> None:
+    from .runtime.wire import WIRE_CHOICES_HELP
+
+    parser.add_argument(
+        "--wire", type=_wire_spec, default=None, metavar="SPEC",
+        help="compressed wire transport for client uploads: "
+             f"{WIRE_CHOICES_HELP}. Uplink timelines and byte counters "
+             "then follow the encoded (wire) sizes; 'raw' is "
+             "byte-identical to omitting the flag")
 
 
 def _add_population(parser: argparse.ArgumentParser) -> None:
@@ -329,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the full round history as JSON")
     _add_common(p_run)
     _add_executor(p_run)
+    _add_wire(p_run)
     _add_population(p_run)
     _add_telemetry(p_run)
     _add_persistence(p_run)
@@ -341,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--rounds", type=int, default=None)
     _add_common(p_cmp)
     _add_executor(p_cmp)
+    _add_wire(p_cmp)
     _add_population(p_cmp)
     _add_telemetry(p_cmp)
     _add_cache(p_cmp)
@@ -383,6 +415,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 rounds=args.rounds,
                 stop_at_target=not args.no_target_stop,
                 seed=args.seed,
+                wire=args.wire,
                 executor=_executor_spec(args),
                 population=args.population,
                 spill_client_events=args.spill_client_events,
@@ -425,7 +458,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     try:
         results = compare_schemes(
             cfg, args.schemes, rounds=args.rounds, seed=args.seed,
-            executor=_executor_spec(args), population=args.population,
+            wire=args.wire, executor=_executor_spec(args),
+            population=args.population,
             spill_client_events=args.spill_client_events,
             recorder=recorder, profiler=profiler, cache=_make_cache(args),
         )

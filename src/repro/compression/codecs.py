@@ -13,7 +13,13 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from .quantization import dequantize, quantize, quantized_nbytes
-from .sparsification import ResidualStore, densify, sparse_nbytes, top_k_sparsify
+from .sparsification import (
+    ResidualStore,
+    SparseTensor,
+    densify,
+    sparse_nbytes,
+    top_k_sparsify,
+)
 
 __all__ = ["UpdateCodec", "IdentityCodec", "QuantizationCodec", "TopKCodec"]
 
@@ -26,6 +32,11 @@ class UpdateCodec(ABC):
         self, update: dict[str, np.ndarray]
     ) -> tuple[dict[str, np.ndarray], int]:
         """Return ``(update_as_received, wire_bytes)``."""
+
+    @abstractmethod
+    def packed_nbytes(self, update: dict[str, np.ndarray]) -> int:
+        """Wire bytes :meth:`encode` would charge for ``update``, computed
+        from shapes alone — no encoding, no codec-state mutation."""
 
     # -- checkpoint/resume hooks (see repro.persist) -------------------
     def snapshot_state(self) -> dict:
@@ -41,8 +52,11 @@ class IdentityCodec(UpdateCodec):
 
     def encode(self, update):
         """Pass the update through unchanged; count 4 bytes per scalar."""
-        nbytes = sum(np.asarray(v).size * 4 for v in update.values())
+        nbytes = self.packed_nbytes(update)
         return {k: np.asarray(v, dtype=np.float32) for k, v in update.items()}, nbytes
+
+    def packed_nbytes(self, update):
+        return sum(np.asarray(v).size * 4 for v in update.values())
 
 
 class QuantizationCodec(UpdateCodec):
@@ -63,6 +77,12 @@ class QuantizationCodec(UpdateCodec):
             received[name] = dequantize(q)
             nbytes += q.nbytes
         return received, nbytes
+
+    def packed_nbytes(self, update):
+        return sum(
+            quantized_nbytes(np.asarray(v).size, self.bits)
+            for v in update.values()
+        )
 
     def snapshot_state(self) -> dict:
         return {"rng": self._rng.bit_generator.state}
@@ -86,16 +106,38 @@ class TopKCodec(UpdateCodec):
 
     def encode(self, update):
         """Residual-corrected top-k per layer; dropped mass feeds back."""
-        received: dict[str, np.ndarray] = {}
+        sparse, nbytes = self.encode_sparse(update)
+        return {name: densify(s) for name, s in sparse.items()}, nbytes
+
+    def encode_sparse(
+        self, update: dict[str, np.ndarray]
+    ) -> tuple[dict[str, SparseTensor], int]:
+        """Sparse (indices, values) encode path: the actual wire payload.
+
+        Same residual-feedback semantics as :meth:`encode` (which is now
+        a densifying wrapper around this), but hands back the
+        :class:`SparseTensor` per layer so a transport can ship k index/
+        value pairs instead of a dense tensor.
+        """
+        out: dict[str, SparseTensor] = {}
         nbytes = 0
         for name, value in update.items():
             corrected = self._residuals.add(name, value)
-            k = max(1, int(round(self.fraction * corrected.size)))
+            k = self._k_for(corrected.size)
             sparse, residual = top_k_sparsify(corrected, k)
             self._residuals.set(name, residual)
-            received[name] = densify(sparse)
+            out[name] = sparse
             nbytes += sparse_nbytes(k)
-        return received, nbytes
+        return out, nbytes
+
+    def packed_nbytes(self, update):
+        return sum(
+            sparse_nbytes(self._k_for(np.asarray(v).size))
+            for v in update.values()
+        )
+
+    def _k_for(self, size: int) -> int:
+        return max(1, int(round(self.fraction * size)))
 
     def snapshot_state(self) -> dict:
         return {"residuals": self._residuals.snapshot_state()}

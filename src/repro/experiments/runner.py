@@ -11,6 +11,7 @@ from ..algorithms import build_strategy
 from ..core import FedCAConfig
 from ..runtime import RunHistory
 from ..runtime.export import history_from_dict, history_to_dict
+from ..runtime.wire import parse_wire_spec
 from .configs import WorkloadConfig, make_environment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -56,6 +57,7 @@ def run_scheme(
     seed: int = 0,
     dynamic: bool = True,
     fedca_config: FedCAConfig | None = None,
+    wire: str | None = None,
     executor=None,
     population: str | None = None,
     spill_client_events: bool = False,
@@ -73,7 +75,9 @@ def run_scheme(
     workload's scale-adapted profiling period (see
     :class:`~repro.experiments.configs.WorkloadConfig.fedca_profile_every`).
     ``executor`` selects the client-execution engine (serial by default);
-    the resulting history is engine-independent. ``recorder`` is an
+    the resulting history is engine-independent. ``wire`` selects the
+    compressed wire transport (see :mod:`repro.runtime.wire`); ``None``
+    or ``"raw"`` keeps uploads byte-identical to the pre-wire runtime. ``recorder`` is an
     optional :class:`~repro.obs.Recorder` telemetry sink; a single
     recorder may be shared across runs (a ``run.start`` event marks each
     scheme's stream). ``profiler`` is an optional
@@ -123,6 +127,7 @@ def run_scheme(
             seed=seed,
             dynamic=dynamic,
             fedca_config=fedca_config,
+            wire=wire,
         )
         payload = cache.get(cache_key)
         if recorder is not None and recorder.enabled:
@@ -141,6 +146,9 @@ def run_scheme(
     strategy = build_strategy(
         scheme, cfg.optimizer_spec(), fedca_config=fedca_config
     )
+    wire_layer = parse_wire_spec(wire)
+    if wire_layer is not None:
+        strategy.set_wire(wire_layer)
 
     rounds_done = 0
     if resume:
@@ -243,6 +251,7 @@ def compare_schemes(
     seed: int = 0,
     dynamic: bool = True,
     fedca_config: FedCAConfig | None = None,
+    wire: str | None = None,
     executor=None,
     population: str | None = None,
     spill_client_events: bool = False,
@@ -263,6 +272,7 @@ def compare_schemes(
             seed=seed,
             dynamic=dynamic,
             fedca_config=fedca_config,
+            wire=wire,
             executor=executor,
             population=population,
             spill_client_events=spill_client_events,

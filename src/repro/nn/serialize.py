@@ -36,6 +36,7 @@ __all__ = [
     "packed_state_nbytes",
     "pack_state",
     "unpack_state",
+    "arena_entries",
     "ARENA_MAGIC",
     "ARENA_VERSION",
 ]
@@ -228,15 +229,16 @@ def pack_state(
     return total
 
 
-def unpack_state(
-    buf, offset: int = 0, *, copy: bool = True
-) -> dict[str, np.ndarray]:
-    """Read a :func:`pack_state` block from ``buf`` at ``offset``.
+def arena_entries(
+    buf, offset: int = 0
+) -> list[tuple[str, str, tuple[int, ...], int, int]]:
+    """Parse just the header of a :func:`pack_state` block.
 
-    With ``copy=False`` the returned arrays are read-only views into
-    ``buf`` — zero-copy, but only valid while the underlying mapping is
-    alive and until the writer reuses the block. ``copy=True`` (default)
-    detaches them.
+    Returns ``[(name, dtype_str, shape, payload_offset, nbytes), ...]``
+    in packed (insertion) order, with ``payload_offset`` absolute within
+    ``buf``. No array payload is touched — this is how the sharded
+    aggregation engine validates key sets and locates flat parameter
+    slices without copying a single tensor.
     """
     mv = memoryview(buf)
     try:
@@ -253,19 +255,34 @@ def unpack_state(
         )
     hstart = offset + _ARENA_PREAMBLE.size
     try:
-        entries = json.loads(bytes(mv[hstart : hstart + header_len]))
+        raw = json.loads(bytes(mv[hstart : hstart + header_len]))
     except ValueError as exc:
         raise CheckpointFormatError(f"corrupt arena header: {exc}") from exc
-    state: dict[str, np.ndarray] = {}
-    for name, dtype_str, shape, aoff, nbytes in entries:
+    entries = []
+    for name, dtype_str, shape, aoff, nbytes in raw:
         if offset + aoff + nbytes > len(mv):
             raise CheckpointFormatError(
                 f"truncated arena block: array {name!r} needs "
                 f"{nbytes} bytes at offset {offset + aoff}, buffer holds {len(mv)}"
             )
-        arr = np.ndarray(
-            tuple(shape), dtype=np.dtype(dtype_str), buffer=mv, offset=offset + aoff
-        )
+        entries.append((name, dtype_str, tuple(shape), offset + aoff, nbytes))
+    return entries
+
+
+def unpack_state(
+    buf, offset: int = 0, *, copy: bool = True
+) -> dict[str, np.ndarray]:
+    """Read a :func:`pack_state` block from ``buf`` at ``offset``.
+
+    With ``copy=False`` the returned arrays are read-only views into
+    ``buf`` — zero-copy, but only valid while the underlying mapping is
+    alive and until the writer reuses the block. ``copy=True`` (default)
+    detaches them.
+    """
+    mv = memoryview(buf)
+    state: dict[str, np.ndarray] = {}
+    for name, dtype_str, shape, aoff, _ in arena_entries(buf, offset):
+        arr = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=mv, offset=aoff)
         if copy:
             state[name] = arr.copy()
             del arr

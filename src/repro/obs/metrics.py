@@ -56,6 +56,9 @@ KNOWN_COUNTERS: frozenset[str] = frozenset(
         "repro_population_rehydrations_total",
         # IPC transports (labelled: {transport=...,direction=...})
         "repro_ipc_bytes_total",
+        # compressed wire transport (labelled: {variant="raw"|"wire"} —
+        # raw is the counterfactual uncompressed cost, wire what moved)
+        "repro_wire_bytes_total",
     }
 )
 

@@ -70,12 +70,15 @@ class ResultCache:
         seed: int,
         dynamic: bool,
         fedca_config: "FedCAConfig | None",
+        wire: "str | None" = None,
     ) -> str:
         """Deterministic cell key. ``rounds`` must be the *effective*
         budget (config default already applied) and ``fedca_config`` the
         *effective* config (scheme default already applied) — the caller
         resolves both so that explicit-default and implied-default runs
-        share a cell."""
+        share a cell. ``wire`` joins the document only when it actually
+        changes the trajectory (anything but raw), so every cell written
+        before the wire feature existed stays valid."""
         document = {
             "schema": CACHE_SCHEMA_VERSION,
             "workload": dataclasses.asdict(cfg),
@@ -90,6 +93,8 @@ class ResultCache:
                 else dataclasses.asdict(fedca_config)
             ),
         }
+        if wire is not None and wire.strip().lower() not in ("", "raw"):
+            document["wire"] = wire.strip().lower()
         blob = json.dumps(document, sort_keys=True, default=_jsonify)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

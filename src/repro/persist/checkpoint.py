@@ -81,7 +81,7 @@ class RunCheckpoint:
         """Config identity a checkpoint is only valid against: resuming
         under a different scheme, client population, seed or architecture
         would silently diverge, so it is rejected up front."""
-        return {
+        out: dict[str, Any] = {
             "scheme": sim.strategy.name,
             "num_clients": len(sim.clients),
             "seed": int(sim.seed),
@@ -91,6 +91,14 @@ class RunCheckpoint:
                 for name, arr in sim.global_state.items()
             },
         }
+        # Wire spec joins the fingerprint only when a layer is attached, so
+        # raw runs keep accepting checkpoints written before the wire
+        # feature existed — while resuming a quant/topk run under any
+        # other wire (whose codec state the snapshot carries) fails loudly.
+        wire = getattr(sim.strategy, "wire", None)
+        if wire is not None:
+            out["wire"] = wire.spec
+        return out
 
     @classmethod
     def from_simulator(cls, sim: "FederatedSimulator") -> "RunCheckpoint":

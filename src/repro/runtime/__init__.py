@@ -26,7 +26,9 @@ from .transport import (
     shm_available,
 )
 from .selection import select_clients
+from .shard import ShardPlan, ShardSegment, plan_shards, weighted_segment_sum
 from .simulator import FederatedSimulator
+from .wire import WireLayer, parse_wire_spec
 
 __all__ = [
     "FederatedSimulator",
@@ -50,6 +52,12 @@ __all__ = [
     "aggregate_buffers",
     "apply_update",
     "collect_earliest",
+    "ShardPlan",
+    "ShardSegment",
+    "plan_shards",
+    "weighted_segment_sum",
+    "WireLayer",
+    "parse_wire_spec",
     "select_clients",
     "history_to_dict",
     "history_to_json",

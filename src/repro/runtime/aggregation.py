@@ -9,6 +9,7 @@ stays in float64 and is cast back to float32 at the end, as before.
 
 from __future__ import annotations
 
+import heapq
 import math
 
 import numpy as np
@@ -43,8 +44,12 @@ def collect_earliest(
     if not 0 < fraction <= 1:
         raise ValueError("fraction must be in (0, 1]")
     count = min(len(results), max(1, math.floor(fraction * len(results) + 0.5)))
-    ordered = sorted(results, key=lambda r: r.upload_finish_time)
-    collected = ordered[:count]
+    # heapq.nsmallest is an O(n log count) partial sort and, like sorted(),
+    # stable on ties — equal finish times keep their job-submission order,
+    # so the collected set is byte-identical to the old full sort's.
+    collected = heapq.nsmallest(
+        count, results, key=lambda r: r.upload_finish_time
+    )
     return collected, collected[-1].upload_finish_time
 
 

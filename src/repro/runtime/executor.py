@@ -89,6 +89,20 @@ class Executor(ABC):
         """Cumulative IPC metrics for benches; empty for in-process engines."""
         return {}
 
+    def aggregate_round(
+        self, collected: list[ClientRoundResult]
+    ) -> "dict[str, np.ndarray] | None":
+        """Optionally aggregate the collected updates inside the engine.
+
+        Returns the weighted-average update dict, or ``None`` to make the
+        simulator fall back to the serial
+        :func:`~repro.runtime.aggregation.aggregate_updates` oracle. Only
+        the sharded parallel engine overrides this; any engine that does
+        must stay bitwise-identical to the serial reduce (buffers always
+        aggregate serially in the parent — they are tiny).
+        """
+        return None
+
     def min_resident_clients(self) -> int:
         """Largest number of clients the engine holds live at one moment.
 
@@ -174,10 +188,12 @@ def resolve_executor(spec: "Executor | str | None") -> Executor:
     """Turn an executor spec into an engine instance.
 
     ``None``/``"serial"`` → :class:`SerialExecutor`;
-    ``"parallel[:N][@transport]"`` →
-    :class:`~repro.runtime.parallel.ParallelExecutor` with N workers and
+    ``"parallel[:N][@transport][+shards=S]"`` →
+    :class:`~repro.runtime.parallel.ParallelExecutor` with N workers,
     the given IPC transport (``auto``/``shm``/``pipe``, see
-    :mod:`repro.runtime.transport`) — e.g. ``"parallel:4@shm"``;
+    :mod:`repro.runtime.transport`) and, with ``+shards=S``, the sharded
+    tree-reduction aggregation engine (see :mod:`repro.runtime.shard`) —
+    e.g. ``"parallel:4@shm+shards=2"``;
     ``"cohort[:M]"`` → :class:`~repro.runtime.cohort.CohortExecutor`
     batching M clients per stacked tensor program — e.g. ``"cohort:32"``;
     an :class:`Executor` instance passes through.
@@ -190,10 +206,28 @@ def resolve_executor(spec: "Executor | str | None") -> Executor:
         key = spec.strip().lower()
         if key == "serial":
             return SerialExecutor()
-        if key == "parallel" or key.startswith(("parallel:", "parallel@")):
+        if key == "parallel" or key.startswith(
+            ("parallel:", "parallel@", "parallel+")
+        ):
             from .parallel import ParallelExecutor
             from .transport import TRANSPORT_CHOICES
 
+            shards = None
+            if "+" in key:
+                key, _, opts = key.partition("+")
+                for opt in opts.split("+"):
+                    opt_key, _, opt_value = opt.partition("=")
+                    if opt_key != "shards" or not opt_value:
+                        raise ValueError(
+                            f"bad option {opt!r} in executor spec {spec!r}; "
+                            "expected '+shards=S'"
+                        )
+                    try:
+                        shards = int(opt_value)
+                    except ValueError:
+                        raise ValueError(
+                            f"bad shard count in executor spec {spec!r}"
+                        )
             transport = "auto"
             if "@" in key:
                 key, transport = key.split("@", 1)
@@ -208,7 +242,9 @@ def resolve_executor(spec: "Executor | str | None") -> Executor:
                     workers = int(key.split(":", 1)[1])
                 except ValueError:
                     raise ValueError(f"bad worker count in executor spec {spec!r}")
-            return ParallelExecutor(workers=workers, transport=transport)
+            return ParallelExecutor(
+                workers=workers, transport=transport, shards=shards
+            )
         if key == "cohort" or key.startswith("cohort:"):
             from .cohort import CohortExecutor
 
@@ -221,5 +257,6 @@ def resolve_executor(spec: "Executor | str | None") -> Executor:
             return CohortExecutor(cohort_size=size)
     raise ValueError(
         f"unknown executor spec {spec!r}; expected 'serial', "
-        "'parallel[:N][@transport]', 'cohort[:M]' or an Executor instance"
+        "'parallel[:N][@transport][+shards=S]', 'cohort[:M]' or an "
+        "Executor instance"
     )

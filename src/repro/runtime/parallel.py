@@ -72,7 +72,12 @@ import numpy as np
 
 from .executor import ClientJob, Executor, SerialExecutor
 from .round import ClientRoundResult
-from .transport import Transport, make_transport, resolve_transport
+from .transport import (
+    Transport,
+    ipc_bytes_counter,
+    make_transport,
+    resolve_transport,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..algorithms.base import Strategy
@@ -155,6 +160,17 @@ def _worker_main(pairs, clients, strategy, owned_ids, transport, worker_index) -
                 except Exception:
                     _send(conn, ("err", traceback.format_exc()))
                 continue
+            if msg[0] == "reduce":
+                # Sharded aggregation: this worker owns some shards of the
+                # model fingerprint; reduce them over the collected
+                # clients' arena slices (see Transport.reduce_shards).
+                _, shard_indices, weights, refs = msg
+                try:
+                    written = transport.reduce_shards(shard_indices, weights, refs)
+                    _send(conn, ("ok", written))
+                except Exception:
+                    _send(conn, ("err", traceback.format_exc()))
+                continue
             _, extra, jobs = msg
             try:
                 state, buffers = transport.read_broadcast(extra)
@@ -190,18 +206,38 @@ class ParallelExecutor(Executor):
         IPC backend for the bulk payloads: ``"auto"`` (default — shared
         memory where available, else pipes), ``"shm"`` or ``"pipe"``. See
         :mod:`repro.runtime.transport`.
+    shards:
+        Enable the sharded tree-reduction aggregation engine with S
+        parameter-range shards (see :mod:`repro.runtime.shard`). Requires
+        the shm transport (shard owners read each other's result arenas);
+        ``auto`` resolving to pipe disables sharding with a warning,
+        requesting ``pipe`` explicitly raises. The reduced update is
+        bitwise-identical to the serial oracle's at any shard count.
     """
 
     name = "parallel"
 
     def __init__(
-        self, workers: int | None = None, *, transport: str = "auto"
+        self,
+        workers: int | None = None,
+        *,
+        transport: str = "auto",
+        shards: int | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shards is not None and transport == "pipe":
+            raise ValueError(
+                "sharded aggregation requires the shm transport (shard "
+                "owners reduce over shm result arenas; pipe has none)"
+            )
         self.workers = workers or default_workers()
+        self.shards = shards
         self.transport_spec = transport
         self.transport: str | None = None  # resolved at bind time
+        self._shard_plan = None
         self._transport_impl: Transport | None = None
         self._recorder: "Recorder | None" = None
         self._clients: Sequence["SimClient"] | None = None
@@ -217,6 +253,14 @@ class ParallelExecutor(Executor):
         self._clients = clients
         self._strategy = strategy
         self.transport = resolve_transport(self.transport_spec)
+        if self.shards is not None and self.transport == "pipe":
+            warnings.warn(
+                "sharded aggregation requires the shm transport; 'auto' "
+                "resolved to pipe, so shards are disabled for this run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.shards = None
         if not fork_available():
             warnings.warn(
                 "platform lacks the 'fork' start method; "
@@ -263,22 +307,34 @@ class ParallelExecutor(Executor):
             for w in range(self.workers)
         ]
         transport = make_transport(self.transport)
+        shard_plan = None
+        if self.shards is not None and self.transport == "shm":
+            from .shard import plan_shards
+
+            shard_plan = plan_shards(global_state, self.shards)
         try:
             transport.setup(
-                global_state, global_buffers, [len(o) for o in owned_per_worker]
+                global_state,
+                global_buffers,
+                [len(o) for o in owned_per_worker],
+                shard_plan=shard_plan,
             )
         except Exception as exc:
             if self.transport == "pipe":
                 raise
             warnings.warn(
                 f"{self.transport} transport setup failed ({exc!r}); "
-                "falling back to the pipe transport",
+                "falling back to the pipe transport"
+                + (" (shards disabled)" if shard_plan is not None else ""),
                 RuntimeWarning,
                 stacklevel=2,
             )
             transport.close()
             self.transport = "pipe"
+            self.shards = None
+            shard_plan = None
             transport = make_transport("pipe")
+        self._shard_plan = shard_plan
         transport.set_recorder(self._recorder)
         transport.set_profiler(self._profiler)
         self._transport_impl = transport
@@ -384,6 +440,11 @@ class ParallelExecutor(Executor):
                 RuntimeWarning,
                 stacklevel=2,
             )
+            if self._shard_plan is not None:
+                # Deferred updates still live in the (about to be
+                # unlinked) arenas; copy them out so serial aggregation
+                # can run on the surviving results.
+                transport.hydrate_updates(list(by_cid.values()))
             self._shutdown_pool()
             self._degrade()
             self._degraded_after_start = True
@@ -394,6 +455,94 @@ class ParallelExecutor(Executor):
                 by_cid[result.client_id] = result
 
         return [by_cid[cid] for cid, _ in jobs]
+
+    # ------------------------------------------------------------------
+    def aggregate_round(self, collected):
+        """Sharded tree-reduction of the collected updates (see
+        :mod:`repro.runtime.shard`).
+
+        Returns ``None`` — deferring to the serial oracle — whenever the
+        sharded path cannot run: sharding off, pool degraded, or a result
+        that came back inline (arena overflow). Validation (positive
+        total weight, matching key sets) mirrors
+        :func:`~repro.runtime.aggregation.aggregate_updates` exactly, so
+        failures raise the same errors either way.
+        """
+        if (
+            self._shard_plan is None
+            or self._fallback is not None
+            or not self._started
+            or not collected
+        ):
+            return None
+        transport = self._transport_impl
+        plan = self._shard_plan
+        refs = transport.pending_update_refs()
+        if any(r.client_id not in refs or r.update for r in collected):
+            # At least one collected result bypassed the arenas (inline
+            # fallback); materialize the rest and reduce serially.
+            transport.hydrate_updates(collected)
+            return None
+        total = float(sum(r.num_samples for r in collected))
+        if total <= 0:
+            raise ValueError("aggregate weight must be positive")
+        first_names = set(transport.update_names(collected[0].client_id))
+        for r in collected[1:]:
+            if set(transport.update_names(r.client_id)) != first_names:
+                raise KeyError(
+                    f"client {r.client_id} update layers differ from client "
+                    f"{collected[0].client_id}"
+                )
+        if first_names != set(plan.layer_names):
+            # A strategy returned layers the fingerprint plan doesn't
+            # cover; the serial path handles arbitrary key sets.
+            transport.hydrate_updates(collected)
+            return None
+        weights = (
+            np.array([r.num_samples for r in collected], dtype=np.float64) / total
+        )
+        ordered_refs = [refs[r.client_id] for r in collected]
+        per_worker: dict[int, list[int]] = {}
+        for k in range(plan.num_shards):
+            per_worker.setdefault(k % self.workers, []).append(k)
+        crashed = False
+        reduced_bytes = 0
+        try:
+            for w, shard_indices in per_worker.items():
+                sent = _send(
+                    self._conns[w],
+                    ("reduce", shard_indices, weights, ordered_refs),
+                )
+                transport.count_pipe("reduce", sent)
+            for w in per_worker:
+                (tag, payload), received = _recv(self._conns[w])
+                transport.count_pipe("reduce", received)
+                if tag == "err":
+                    # Deterministic reduce-side exception: it would have
+                    # surfaced serially too, so propagate.
+                    raise RuntimeError(
+                        f"shard reduce failed in worker {w}:\n{payload}"
+                    )
+                reduced_bytes += payload
+        except (BrokenPipeError, EOFError, OSError):
+            crashed = True
+        if crashed:
+            warnings.warn(
+                "a parallel worker died during the shard reduce; finishing "
+                "the run serially — bitwise determinism vs a pure-serial "
+                "run is no longer guaranteed from this round on",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            # The arenas are still mapped here: recover the updates, then
+            # tear the pool down and let the serial oracle aggregate.
+            transport.hydrate_updates(collected)
+            self._shutdown_pool()
+            self._degrade()
+            self._degraded_after_start = True
+            return None
+        transport.count(ipc_bytes_counter("shm", "reduce"), reduced_bytes)
+        return transport.assemble_reduced()
 
     # ------------------------------------------------------------------
     def capture_run_state(self) -> dict:

@@ -408,7 +408,12 @@ class FederatedSimulator:
                 results, self.aggregation_fraction
             )
         with prof.phase("aggregate"):
-            update = aggregate_updates(collected)
+            # Engines may own the reduce (sharded tree-reduction over shm
+            # arenas, bitwise-identical by contract); None falls back to
+            # the serial oracle. Buffers always aggregate here.
+            update = self.executor.aggregate_round(collected)
+            if update is None:
+                update = aggregate_updates(collected)
             self.global_state = apply_update(self.global_state, update)
             new_buffers = aggregate_buffers(collected)
             if new_buffers:
@@ -460,6 +465,19 @@ class FederatedSimulator:
                     retrans = ev.get("retransmitted")
                     if retrans:
                         rec.counter("repro_retransmissions_total", len(retrans))
+                    wire = ev.get("wire")
+                    if wire:
+                        # Compressed transport active: surface both sides
+                        # of the cost — what the raw payload would have
+                        # weighed and what actually crossed the wire.
+                        rec.counter(
+                            'repro_wire_bytes_total{variant="raw"}',
+                            wire["raw_bytes"],
+                        )
+                        rec.counter(
+                            'repro_wire_bytes_total{variant="wire"}',
+                            wire["wire_bytes"],
+                        )
         record = RoundRecord(
             round_index=round_index,
             start_time=self.time,

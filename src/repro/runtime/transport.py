@@ -60,6 +60,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from ..nn.serialize import (
+    arena_entries,
     pack_state,
     packed_state_nbytes,
     state_from_bytes,
@@ -67,10 +68,12 @@ from ..nn.serialize import (
     unpack_state,
 )
 from ..obs.profile import NULL_PROFILER
+from .shard import weighted_segment_sum
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs import Recorder
     from .round import ClientRoundResult
+    from .shard import ShardPlan
 
 __all__ = [
     "Transport",
@@ -229,11 +232,16 @@ class Transport:
         state: dict[str, np.ndarray],
         buffers: dict[str, np.ndarray],
         owned_counts: list[int],
+        shard_plan: "ShardPlan | None" = None,
     ) -> None:
         """Allocate per-pool resources before the workers fork.
 
         ``owned_counts[w]`` is the number of clients worker ``w`` owns —
-        the upper bound on results it can return per round."""
+        the upper bound on results it can return per round.
+        ``shard_plan`` (shm only) switches the transport into sharded-
+        aggregation mode: per-shard reduce arenas are allocated and
+        result updates are left in the worker arenas for the shard
+        owners to reduce in place (see :mod:`repro.runtime.shard`)."""
 
     def broadcast(
         self, state: dict[str, np.ndarray], buffers: dict[str, np.ndarray]
@@ -373,13 +381,19 @@ class ShmTransport(Transport):
         super().__init__()
         self._broadcast: _Arena | None = None
         self._results: list[_Arena] = []
+        self._shards: list[_Arena] = []
+        self._shard_plan: "ShardPlan | None" = None
+        #: ``{client_id: (worker, update_offset)}`` for results whose
+        #: update payloads were left in the worker arenas this round
+        #: (sharded-aggregation mode only).
+        self._pending_updates: dict[int, tuple[int, int]] = {}
         self._generation = 0
         self._creator_pid = os.getpid()
         self._closed = False
         self._atexit_registered = False
 
     # -- parent half ---------------------------------------------------
-    def setup(self, state, buffers, owned_counts):
+    def setup(self, state, buffers, owned_counts, shard_plan=None):
         token = secrets.token_hex(4)
         state_nbytes = packed_state_nbytes(state)
         buffers_nbytes = packed_state_nbytes(buffers) if buffers else 0
@@ -395,6 +409,19 @@ class ShmTransport(Transport):
             self._results.append(
                 _Arena(f"{SEGMENT_PREFIX}-{os.getpid()}-{token}-r{w}", rsize)
             )
+        self._shard_plan = shard_plan
+        if shard_plan is not None:
+            # Per-shard reduce arenas, created pre-fork like everything
+            # else so every worker inherits mappings to all of them
+            # (shard owners read slices from *other* workers' result
+            # arenas and write into their own shard arenas).
+            for k in range(shard_plan.num_shards):
+                self._shards.append(
+                    _Arena(
+                        f"{SEGMENT_PREFIX}-{os.getpid()}-{token}-s{k}",
+                        max(1, shard_plan.shard_nbytes(k)),
+                    )
+                )
         if not self._atexit_registered:
             atexit.register(self.close)
             self._atexit_registered = True
@@ -402,6 +429,7 @@ class ShmTransport(Transport):
     def broadcast(self, state, buffers):
         assert self._broadcast is not None, "setup() must run before broadcast()"
         t0 = time.perf_counter()
+        self._pending_updates = {}  # last round's refs are now stale
         with self._profiler.phase("pack"):
             self._generation += 1
             state_off = _ARENA_DATA_OFFSET
@@ -427,7 +455,14 @@ class ShmTransport(Transport):
                 results.append(stripped)
                 continue
             update_off, buffers_off, nbytes = ref
-            stripped.update = unpack_state(arena.buf, update_off, copy=True)
+            if self._shard_plan is not None:
+                # Sharded mode: leave the update where the worker packed
+                # it — the shard owners will reduce it in place. Buffers
+                # still come out eagerly (they aggregate serially in the
+                # parent and are tiny next to the update).
+                self._pending_updates[stripped.client_id] = (worker, update_off)
+            else:
+                stripped.update = unpack_state(arena.buf, update_off, copy=True)
             if buffers_off is not None:
                 stripped.buffers = unpack_state(arena.buf, buffers_off, copy=True)
             shm_bytes += nbytes
@@ -435,6 +470,63 @@ class ShmTransport(Transport):
         if shm_bytes:
             self.count(ipc_bytes_counter("shm", "results"), shm_bytes)
         return results
+
+    # -- sharded aggregation (parent half) -----------------------------
+    def pending_update_refs(self) -> dict[int, tuple[int, int]]:
+        """This round's deferred update locations (sharded mode only)."""
+        return self._pending_updates
+
+    def update_names(self, client_id: int) -> list[str]:
+        """Layer names of a deferred update, read from its arena header
+        (no payload copied) — mirrors the serial key-set validation."""
+        worker, update_off = self._pending_updates[client_id]
+        return [
+            name
+            for name, _, _, _, _ in arena_entries(
+                self._results[worker].buf, update_off
+            )
+        ]
+
+    def hydrate_updates(self, results: "list[ClientRoundResult]") -> None:
+        """Materialize deferred updates back onto their results.
+
+        The serial-fallback path: when the sharded reduce cannot run
+        (inline result, degraded pool, worker crash), the parent copies
+        the updates out of the arenas and aggregation proceeds exactly
+        as in non-sharded mode."""
+        for result in results:
+            ref = self._pending_updates.get(result.client_id)
+            if ref is not None and not result.update:
+                worker, update_off = ref
+                result.update = unpack_state(
+                    self._results[worker].buf, update_off, copy=True
+                )
+
+    def assemble_reduced(self) -> dict[str, np.ndarray]:
+        """Root of the reduction tree: concatenate the reduced shards
+        back into layer tensors, in fingerprint order."""
+        plan = self._shard_plan
+        assert plan is not None
+        shard_views = []
+        for k, arena in enumerate(self._shards):
+            shard_views.append(
+                np.ndarray(
+                    (plan.shard_scalars(k),), dtype=np.float32, buffer=arena.buf
+                )
+            )
+        update: dict[str, np.ndarray] = {}
+        by_layer = plan.segments_by_layer()
+        try:
+            for name, shape, size in plan.layers:
+                flat = np.empty((size,), dtype=np.float32)
+                for k, seg in by_layer[name]:
+                    flat[seg.start : seg.stop] = shard_views[k][
+                        seg.shard_offset : seg.shard_offset + seg.size
+                    ]
+                update[name] = flat.reshape(shape)
+        finally:
+            del shard_views  # release exported arena buffers
+        return update
 
     def decode_capture(self, worker, payload):
         kind, ref = payload
@@ -451,6 +543,7 @@ class ShmTransport(Transport):
     def segment_names(self) -> list[str]:
         """The ``/dev/shm`` names this pool owns (for leak checks)."""
         names = [a.name for a in self._results]
+        names.extend(a.name for a in self._shards)
         if self._broadcast is not None:
             names.append(self._broadcast.name)
         return names
@@ -463,9 +556,12 @@ class ShmTransport(Transport):
         self._closed = True
         for arena in self._results:
             arena.destroy()
+        for arena in self._shards:
+            arena.destroy()
         if self._broadcast is not None:
             self._broadcast.destroy()
         self._results = []
+        self._shards = []
         self._broadcast = None
 
     def __del__(self) -> None:  # pragma: no cover - GC-order dependent
@@ -533,3 +629,51 @@ class ShmTransport(Transport):
             return ("inline", snapshot)
         arena.buf[: len(blob)] = blob
         return ("shm_pickle", len(blob))
+
+    def reduce_shards(
+        self,
+        shard_indices: list[int],
+        weights: np.ndarray,
+        refs: list[tuple[int, int]],
+    ) -> int:
+        """Level 1 of the reduction tree, run inside a shard owner.
+
+        ``refs`` locates each collected client's packed update —
+        ``(worker, update_offset)`` in **collected order**, which with
+        the float64 pinning in :func:`~repro.runtime.shard.
+        weighted_segment_sum` is what keeps the result bitwise equal to
+        the serial reduce. Returns the float32 bytes written into this
+        owner's shard arenas.
+        """
+        plan = self._shard_plan
+        assert plan is not None
+        # One zero-copy flat view per (client, layer); every worker
+        # inherited mappings to all result arenas pre-fork.
+        flats = []
+        for worker, update_off in refs:
+            views = unpack_state(
+                self._results[worker].buf, update_off, copy=False
+            )
+            flats.append({name: arr.reshape(-1) for name, arr in views.items()})
+        written = 0
+        try:
+            for k in shard_indices:
+                out = np.ndarray(
+                    (plan.shard_scalars(k),),
+                    dtype=np.float32,
+                    buffer=self._shards[k].buf,
+                )
+                try:
+                    for seg in plan.shards[k]:
+                        out[seg.shard_offset : seg.shard_offset + seg.size] = (
+                            weighted_segment_sum(
+                                weights,
+                                [f[seg.layer][seg.start : seg.stop] for f in flats],
+                            )
+                        )
+                finally:
+                    del out  # release the exported shard-arena buffer
+                written += plan.shard_nbytes(k)
+        finally:
+            flats = None  # drop the result-arena views before returning
+        return written

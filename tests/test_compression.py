@@ -12,6 +12,7 @@ from repro.compression import (
     IdentityCodec,
     QuantizationCodec,
     ResidualStore,
+    SparseTensor,
     TopKCodec,
     densify,
     dequantize,
@@ -246,3 +247,72 @@ class TestCompressedFedAvg:
         rec = sim.run_round()
         full_bytes = sim.clients[0].model_bytes * 3
         assert rec.total_bytes < full_bytes * 0.5
+
+
+class TestPackedNbytes:
+    """``packed_nbytes`` must predict ``encode()``'s wire size without
+    encoding (and therefore without mutating codec state)."""
+
+    def _update(self):
+        rng = np.random.default_rng(11)
+        return {
+            "a": rng.normal(size=(9, 7)).astype(np.float32),
+            "b": rng.normal(size=(13,)).astype(np.float32),
+        }
+
+    @pytest.mark.parametrize(
+        "make_codec",
+        [
+            lambda: IdentityCodec(),
+            lambda: QuantizationCodec(bits=8, seed=3),
+            lambda: QuantizationCodec(bits=4, seed=3),
+            lambda: TopKCodec(fraction=0.2),
+        ],
+        ids=["identity", "quant8", "quant4", "topk"],
+    )
+    def test_matches_encode_and_leaves_state_untouched(self, make_codec):
+        upd = self._update()
+        probe, oracle = make_codec(), make_codec()
+        predicted = probe.packed_nbytes(upd)
+        # Predicting must not perturb the codec: encode afterwards gives
+        # exactly what a fresh codec's encode gives.
+        got_probe, nbytes_probe = probe.encode(upd)
+        got_oracle, nbytes_oracle = oracle.encode(upd)
+        assert predicted == nbytes_probe == nbytes_oracle
+        for k in upd:
+            np.testing.assert_array_equal(got_probe[k], got_oracle[k])
+
+    def test_topk_prediction_holds_with_residual_state(self):
+        # Size depends only on k per layer, not residual contents, so the
+        # prediction stays exact after rounds of error feedback.
+        upd = self._update()
+        codec = TopKCodec(fraction=0.2)
+        codec.encode(upd)
+        _, nbytes = codec.encode(upd)
+        assert codec.packed_nbytes(upd) == nbytes
+
+
+class TestSparseEncode:
+    def _update(self):
+        rng = np.random.default_rng(12)
+        return {"w": rng.normal(size=(6, 8)).astype(np.float32)}
+
+    def test_encode_is_densified_encode_sparse(self):
+        upd = self._update()
+        dense_codec = TopKCodec(fraction=0.25)
+        sparse_codec = TopKCodec(fraction=0.25)
+        for _ in range(3):  # residual feedback must evolve identically
+            received, nbytes = dense_codec.encode(upd)
+            sparse, sp_nbytes = sparse_codec.encode_sparse(upd)
+            assert nbytes == sp_nbytes
+            for name, tensor in sparse.items():
+                assert isinstance(tensor, SparseTensor)
+                np.testing.assert_array_equal(densify(tensor), received[name])
+
+    def test_sparse_payload_is_actually_sparse(self):
+        upd = self._update()
+        sparse, nbytes = TopKCodec(fraction=0.25).encode_sparse(upd)
+        k = max(1, int(round(0.25 * 48)))
+        assert sparse["w"].values.size == k
+        assert sparse["w"].indices.size == k
+        assert nbytes == sparse_nbytes(k)

@@ -1,0 +1,487 @@
+"""Sharded tree-reduction aggregation + compressed wire transport tests.
+
+Tentpole invariants:
+
+* ``parallel[:N]@shm+shards=S`` histories AND JSONL traces are
+  byte-identical to the serial oracle at every tested shard count —
+  sharding parallelises the *parameter* axis of the weighted sum without
+  changing a single accumulation order.
+* ``--wire raw`` is the identity: byte-identical to runs that predate
+  the wire feature. Lossy wires (quant8/quant4/topk:F) stay within a
+  pinned accuracy tolerance and always shrink the uplink byte count.
+* Wire codec state (error-feedback residuals, RNG positions) rides the
+  Strategy snapshot/restore/release hooks, so checkpoint resume and
+  lazy-population evict/rehydrate reproduce uninterrupted runs exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import OptimizerSpec, build_strategy
+from repro.core import FedCAConfig
+from repro.data import dirichlet_partition, make_workload_data
+from repro.nn import LeNetCNN
+from repro.runtime import (
+    FederatedSimulator,
+    ParallelExecutor,
+    RunHistory,
+    WireLayer,
+    parse_wire_spec,
+    plan_shards,
+    resolve_executor,
+    shm_available,
+    weighted_segment_sum,
+)
+from repro.runtime.parallel import fork_available
+
+OPT = OptimizerSpec(lr=0.05, weight_decay=0.01)
+NUM_CLIENTS = 5
+ITERS = 6
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+needs_shm = pytest.mark.skipif(
+    not shm_available()[0], reason="platform lacks POSIX shared memory"
+)
+
+
+@pytest.fixture(scope="module")
+def env_data():
+    train, test = make_workload_data("cnn", num_samples=400, seed=3)
+    parts = dirichlet_partition(train, NUM_CLIENTS, alpha=0.5, seed=4, min_samples=8)
+    return [train.subset(p) for p in parts], test
+
+
+def make_sim(env_data, scheme, *, executor, seed=1, wire=None, **kwargs):
+    shards, test = env_data
+    fedca_cfg = FedCAConfig(profile_every=2) if scheme.startswith("fedca") else None
+    strategy = build_strategy(scheme, OPT, fedca_config=fedca_cfg)
+    layer = parse_wire_spec(wire)
+    if layer is not None:
+        strategy.set_wire(layer)
+    defaults = dict(
+        model_fn=lambda: LeNetCNN(rng=np.random.default_rng(7)),
+        strategy=strategy,
+        shards=shards,
+        test_set=test,
+        base_iteration_times=[0.01, 0.012, 0.015, 0.02, 0.03],
+        batch_size=8,
+        local_iterations=ITERS,
+        aggregation_fraction=0.8,
+        seed=seed,
+        executor=executor,
+    )
+    defaults.update(kwargs)
+    return FederatedSimulator(**defaults)
+
+
+def history_fingerprint(hist: RunHistory):
+    return [
+        (
+            r.round_index,
+            r.start_time,
+            r.end_time,
+            r.accuracy,
+            r.mean_loss,
+            r.collected_clients,
+            r.straggler_clients,
+            r.mean_iterations,
+            r.total_bytes,
+        )
+        for r in hist.records
+    ]
+
+
+def run_traced(env_data, scheme, executor, *, wire=None):
+    from repro.obs import TraceRecorder, events_to_jsonl
+
+    rec = TraceRecorder()
+    with make_sim(
+        env_data, scheme, executor=executor, recorder=rec, wire=wire
+    ) as sim:
+        hist = sim.run(4)
+    rec.close()
+    return hist, events_to_jsonl(rec.events()), rec
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+class TestShardPlan:
+    @staticmethod
+    def toy_state():
+        return {
+            "a": np.zeros((3, 4), dtype=np.float32),  # 12 scalars
+            "b": np.zeros((5,), dtype=np.float32),  # 5
+            "c": np.zeros((2, 2, 2), dtype=np.float32),  # 8
+        }
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 4, 7, 25, 40])
+    def test_plan_covers_every_scalar_once_in_order(self, num_shards):
+        state = self.toy_state()
+        plan = plan_shards(state, num_shards)
+        assert plan.num_shards == num_shards
+        # Walking the shards in order must visit every (layer, offset)
+        # range exactly once, in fingerprint order.
+        walk = [
+            (seg.layer, seg.start, seg.stop)
+            for segs in plan.shards
+            for seg in segs
+        ]
+        expected = []
+        for name, arr in state.items():
+            covered = 0
+            for layer, start, stop in walk:
+                if layer != name:
+                    continue
+                assert start == covered, f"gap in {name}"
+                assert stop > start
+                covered = stop
+            assert covered == arr.size, f"{name} not fully covered"
+            expected.append(name)
+        assert plan.layer_names == tuple(expected)
+        assert sum(plan.shard_scalars(k) for k in range(num_shards)) == 25
+
+    def test_single_shard_is_whole_model(self):
+        plan = plan_shards(self.toy_state(), 1)
+        assert plan.shard_scalars(0) == 25
+        assert [seg.layer for seg in plan.shards[0]] == ["a", "b", "c"]
+
+    def test_oversized_layer_splits_by_flat_offset(self):
+        state = {"big": np.zeros((100,), dtype=np.float32)}
+        plan = plan_shards(state, 4)
+        assert [s.size for s in (seg for segs in plan.shards for seg in segs)] == [
+            25,
+            25,
+            25,
+            25,
+        ]
+
+    def test_more_shards_than_scalars_leaves_empties(self):
+        state = {"t": np.zeros((2,), dtype=np.float32)}
+        plan = plan_shards(state, 5)
+        assert sum(plan.shard_scalars(k) for k in range(5)) == 2
+        assert any(plan.shard_scalars(k) == 0 for k in range(5))
+
+    def test_weighted_segment_sum_matches_serial_slices(self):
+        rng = np.random.default_rng(0)
+        stack = rng.normal(size=(6, 37)).astype(np.float32)
+        w = rng.random(6)
+        w = w / w.sum()
+        full = np.einsum("c,cn->n", w, stack.astype(np.float64)).astype(np.float32)
+        for lo, hi in [(0, 37), (0, 10), (10, 30), (30, 37)]:
+            out = weighted_segment_sum(w, [row[lo:hi] for row in stack])
+            assert np.array_equal(out, full[lo:hi])
+
+
+# ----------------------------------------------------------------------
+# Executor-spec grammar
+# ----------------------------------------------------------------------
+class TestShardSpecs:
+    def test_shard_specs_parse(self):
+        ex = resolve_executor("parallel:4@shm+shards=8")
+        assert isinstance(ex, ParallelExecutor)
+        assert ex.workers == 4
+        assert ex.transport_spec == "shm"
+        assert ex.shards == 8
+        assert resolve_executor("parallel+shards=2").shards == 2
+
+    def test_bad_shard_specs(self):
+        with pytest.raises(ValueError, match="bad option"):
+            resolve_executor("parallel+chunks=2")
+        with pytest.raises(ValueError, match="shard count"):
+            resolve_executor("parallel+shards=zero")
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            resolve_executor("parallel+shards=0")
+
+    def test_shards_require_shm(self):
+        with pytest.raises(ValueError, match="requires the shm transport"):
+            ParallelExecutor(workers=2, transport="pipe", shards=2)
+
+
+# ----------------------------------------------------------------------
+# Sharded reduce == serial oracle (the tentpole bitwise invariant)
+# ----------------------------------------------------------------------
+class TestShardedReduceEquivalence:
+    @needs_fork
+    @needs_shm
+    @pytest.mark.parametrize("scheme", ["fedavg", "fedca"])
+    def test_bitwise_identical_histories_and_traces(self, env_data, scheme):
+        ref_hist, ref_jsonl, _ = run_traced(env_data, scheme, "serial")
+        assert ref_jsonl
+        for workers in (2, 4):
+            for shards in (1, 2, 4):
+                spec = f"parallel:{workers}@shm+shards={shards}"
+                hist, jsonl, _ = run_traced(env_data, scheme, spec)
+                assert history_fingerprint(hist) == history_fingerprint(
+                    ref_hist
+                ), spec
+                assert jsonl == ref_jsonl, spec
+
+    @needs_fork
+    @needs_shm
+    def test_global_state_bitwise_identical(self, env_data):
+        sim_s = make_sim(env_data, "fedavg", executor="serial")
+        sim_s.run(3)
+        with make_sim(
+            env_data, "fedavg", executor="parallel:2@shm+shards=4"
+        ) as sim_p:
+            sim_p.run(3)
+        for name in sim_s.global_state:
+            assert np.array_equal(
+                sim_s.global_state[name], sim_p.global_state[name]
+            ), f"layer {name} diverged"
+
+    @needs_fork
+    @needs_shm
+    def test_more_shards_than_workers(self, env_data):
+        # Shards round-robin onto workers (k % W): 7 shards on 2 workers.
+        ref = make_sim(env_data, "fedca", executor="serial").run(4)
+        with make_sim(
+            env_data, "fedca", executor="parallel:2@shm+shards=7"
+        ) as sim:
+            hist = sim.run(4)
+        assert history_fingerprint(hist) == history_fingerprint(ref)
+
+    @needs_fork
+    @needs_shm
+    def test_reduce_traffic_is_counted(self, env_data):
+        from repro.runtime.transport import ipc_bytes_counter
+
+        executor = ParallelExecutor(workers=2, transport="shm", shards=2)
+        with make_sim(env_data, "fedavg", executor=executor) as sim:
+            sim.run(2)
+            stats = executor.ipc_stats()
+        assert stats[ipc_bytes_counter("shm", "reduce")] > 0
+        assert stats[ipc_bytes_counter("pipe", "reduce")] > 0
+
+    @needs_fork
+    def test_auto_transport_resolving_to_pipe_disables_shards(
+        self, env_data, monkeypatch
+    ):
+        monkeypatch.setattr(
+            "repro.runtime.parallel.resolve_transport",
+            lambda requested: "pipe",
+        )
+        executor = ParallelExecutor(workers=2, transport="auto", shards=2)
+        with pytest.warns(RuntimeWarning, match="shards are disabled"):
+            sim = make_sim(env_data, "fedavg", executor=executor)
+        with sim:
+            hist = sim.run(2)
+        ref = make_sim(env_data, "fedavg", executor="serial").run(2)
+        assert history_fingerprint(hist) == history_fingerprint(ref)
+
+
+class TestShardedLifecycle:
+    @needs_fork
+    @needs_shm
+    def test_shard_arenas_exist_and_unlink_on_close(self, env_data):
+        from pathlib import Path
+
+        executor = ParallelExecutor(workers=2, transport="shm", shards=3)
+        sim = make_sim(env_data, "fedavg", executor=executor)
+        sim.run_round()
+        names = executor._transport_impl.segment_names()
+        # broadcast + 2 result arenas + 3 shard arenas
+        assert len(names) == 6
+        assert sum("-s" in n for n in names) == 3
+        assert all((Path("/dev/shm") / n).exists() for n in names)
+        sim.close()
+        assert all(not (Path("/dev/shm") / n).exists() for n in names)
+
+    @needs_fork
+    @needs_shm
+    def test_worker_death_mid_run_falls_back_serially(self, env_data):
+        from pathlib import Path
+
+        executor = ParallelExecutor(workers=2, transport="shm", shards=2)
+        with make_sim(env_data, "fedca", executor=executor) as sim:
+            sim.run_round()
+            names = executor._transport_impl.segment_names()
+            executor._procs[0].terminate()
+            executor._procs[0].join()
+            with pytest.warns(RuntimeWarning, match="worker died"):
+                rec = sim.run_round()
+            assert executor._fallback is not None
+            assert all(not (Path("/dev/shm") / n).exists() for n in names)
+            # The crash round still aggregated real updates: deferred
+            # decode hydrates them from the arenas *before* teardown, so
+            # the round record is coherent (not zeros / not an error).
+            assert rec.end_time > rec.start_time
+            assert np.isfinite(rec.mean_loss)
+            sim.run_round()
+            assert sim.history.num_rounds == 3
+
+
+# ----------------------------------------------------------------------
+# Wire transport
+# ----------------------------------------------------------------------
+class TestWireSpecs:
+    def test_raw_and_empty_mean_no_layer(self):
+        assert parse_wire_spec(None) is None
+        assert parse_wire_spec("raw") is None
+        assert parse_wire_spec("  RAW ") is None
+        assert parse_wire_spec("") is None
+
+    def test_known_specs(self):
+        assert isinstance(parse_wire_spec("quant8"), WireLayer)
+        assert isinstance(parse_wire_spec("quant4"), WireLayer)
+        assert parse_wire_spec("topk:0.1").spec == "topk:0.1"
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError, match="unknown wire spec"):
+            parse_wire_spec("gzip")
+        with pytest.raises(ValueError, match="fraction"):
+            parse_wire_spec("topk:banana")
+        with pytest.raises(ValueError, match="fraction must be in"):
+            parse_wire_spec("topk:1.5")
+
+    def test_codecs_are_per_client_and_releasable(self):
+        layer = parse_wire_spec("topk:0.5")
+        update = {"w": np.arange(8, dtype=np.float32)}
+        layer.encode(3, update)
+        layer.encode(4, update)
+        states = layer.capture_client_states()
+        assert sorted(states) == [3, 4]
+        layer.release_client_states([3])
+        assert sorted(layer.capture_client_states()) == [4]
+        layer.restore_client_states({3: states[3]})
+        assert sorted(layer.capture_client_states()) == [3, 4]
+
+
+class TestWireRuns:
+    @needs_fork
+    @needs_shm
+    @pytest.mark.parametrize("scheme", ["fedavg", "fedca"])
+    def test_raw_wire_is_bitwise_identity(self, env_data, scheme):
+        ref_hist, ref_jsonl, _ = run_traced(env_data, scheme, "serial")
+        hist, jsonl, _ = run_traced(env_data, scheme, "serial", wire="raw")
+        assert history_fingerprint(hist) == history_fingerprint(ref_hist)
+        assert jsonl == ref_jsonl
+        # ...and the raw sharded run still matches the oracle bitwise.
+        hist_p, jsonl_p, _ = run_traced(
+            env_data, scheme, "parallel:2@shm+shards=2", wire="raw"
+        )
+        assert history_fingerprint(hist_p) == history_fingerprint(ref_hist)
+        assert jsonl_p == ref_jsonl
+
+    @pytest.mark.parametrize("wire", ["quant8", "topk:0.25"])
+    @pytest.mark.parametrize("scheme", ["fedavg", "fedca"])
+    def test_lossy_wires_shrink_bytes_within_pinned_tolerance(
+        self, env_data, scheme, wire
+    ):
+        ref = make_sim(env_data, scheme, executor="serial").run(4)
+        hist = make_sim(env_data, scheme, executor="serial", wire=wire).run(4)
+        assert sum(r.total_bytes for r in hist.records) < sum(
+            r.total_bytes for r in ref.records
+        )
+        # Pinned tolerance: lossy transport may cost accuracy, but the
+        # run must stay in the same training regime as the raw oracle.
+        assert hist.final_accuracy >= ref.final_accuracy - 0.25
+        assert all(np.isfinite(r.mean_loss) for r in hist.records)
+
+    @needs_fork
+    def test_wire_is_engine_independent(self, env_data):
+        # Stateful codecs follow sticky worker routing: serial, parallel
+        # and sharded runs of the same lossy wire agree bitwise.
+        ref_hist, ref_jsonl, _ = run_traced(
+            env_data, "fedca", "serial", wire="quant8"
+        )
+        for spec in ["parallel:2", "parallel:2@shm+shards=2"]:
+            if "shm" in spec and not shm_available()[0]:
+                continue
+            hist, jsonl, _ = run_traced(env_data, "fedca", spec, wire="quant8")
+            assert history_fingerprint(hist) == history_fingerprint(
+                ref_hist
+            ), spec
+            assert jsonl == ref_jsonl, spec
+
+    def test_wire_byte_counters_mirror_events(self, env_data):
+        hist, _, rec = run_traced(env_data, "fedavg", "serial", wire="quant8")
+        raw = rec.counters['repro_wire_bytes_total{variant="raw"}']
+        wired = rec.counters['repro_wire_bytes_total{variant="wire"}']
+        assert 0 < wired < raw
+        assert wired == sum(
+            ev["wire"]["wire_bytes"]
+            for r in hist.records
+            for ev in r.client_events.values()
+        )
+        # Uplink accounting follows the wire bytes.
+        assert sum(r.total_bytes for r in hist.records) == sum(
+            ev["wire"]["wire_bytes"]
+            for r in hist.records
+            for ev in r.client_events.values()
+        )
+
+    def test_raw_runs_emit_no_wire_counters(self, env_data):
+        _, _, rec = run_traced(env_data, "fedavg", "serial")
+        assert not any("wire" in k for k in rec.counters)
+
+
+class TestWireStateLifecycle:
+    """Error-feedback residuals must survive every persistence path."""
+
+    def test_checkpoint_resume_matches_uninterrupted(self, env_data, tmp_path):
+        ref = make_sim(
+            env_data, "fedca", executor="serial", wire="topk:0.25"
+        ).run(4)
+        ckpt = str(tmp_path / "ckpt")
+        from repro.persist import find_latest_checkpoint, save_run_checkpoint
+
+        sim = make_sim(env_data, "fedca", executor="serial", wire="topk:0.25")
+        sim.run(2)
+        save_run_checkpoint(sim, ckpt)
+        resumed = make_sim(env_data, "fedca", executor="serial", wire="topk:0.25")
+        resumed.resume(find_latest_checkpoint(ckpt))
+        resumed.run(2)
+        assert history_fingerprint(resumed.history) == history_fingerprint(ref)
+
+    def test_resume_under_different_wire_fails_loudly(self, env_data, tmp_path):
+        from repro.persist import (
+            CheckpointFormatError,
+            find_latest_checkpoint,
+            save_run_checkpoint,
+        )
+
+        ckpt = str(tmp_path / "ckpt")
+        sim = make_sim(env_data, "fedavg", executor="serial", wire="quant8")
+        sim.run(1)
+        save_run_checkpoint(sim, ckpt)
+        for other in [None, "topk:0.25"]:
+            fresh = make_sim(env_data, "fedavg", executor="serial", wire=other)
+            with pytest.raises(CheckpointFormatError, match="wire"):
+                fresh.resume(find_latest_checkpoint(ckpt))
+
+    def test_lazy_population_evict_rehydrate_matches_eager(self, env_data):
+        ref = make_sim(
+            env_data, "fedca", executor="serial", wire="topk:0.25"
+        ).run(4)
+        hist = make_sim(
+            env_data,
+            "fedca",
+            executor="serial",
+            wire="topk:0.25",
+            population="lazy:cache=2",
+        ).run(4)
+        assert history_fingerprint(hist) == history_fingerprint(ref)
+
+    def test_wrapped_snapshot_shape(self, env_data):
+        # With a wire attached, capture wraps both halves; without one the
+        # snapshot shape is exactly the legacy scheme-only dict.
+        shards, test = env_data
+        strategy = build_strategy("fedca", OPT, fedca_config=FedCAConfig())
+        bare = strategy.capture_client_states()
+        assert bare == {}
+        strategy.set_wire(parse_wire_spec("topk:0.5"))
+        strategy.wire.encode(7, {"w": np.ones(4, dtype=np.float32)})
+        wrapped = strategy.capture_client_states()
+        assert set(wrapped) == {7}
+        assert set(wrapped[7]) == {"strategy", "wire"}
+        assert wrapped[7]["strategy"] is None
+        strategy.release_client_states([7])
+        assert strategy.capture_client_states() == {}
+        strategy.restore_client_states(wrapped)
+        assert set(strategy.capture_client_states()) == {7}
